@@ -1,0 +1,137 @@
+//! Criterion benches regenerating the paper's *figures* at reduced scale:
+//! one group per figure (fig2, fig5, fig6, fig7, fig8, fig9).
+//!
+//! These measure the end-to-end experiment kernels; the full-size numbers
+//! are produced by `cargo run --release -p dsw-bench --bin experiments`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsw_bench::experiments::fig2::fe_problem;
+use dsw_bench::experiments::scaling::scaling_points;
+use dsw_bench::harness::{setup_problem, suite_partition, ExperimentCtx};
+use dsw_core::dist::{run_method, DistOptions, Method};
+use dsw_core::scalar::{
+    distributed_southwell_scalar, gauss_seidel, jacobi, multicolor_gauss_seidel,
+    parallel_southwell, sequential_southwell, ScalarOptions,
+};
+use dsw_multigrid::{Multigrid, Smoother};
+use dsw_sparse::{gen, suite};
+
+fn small_ctx() -> ExperimentCtx {
+    let mut ctx = ExperimentCtx::smoke();
+    ctx.scale = 0.15;
+    ctx
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let ctx = small_ctx();
+    let (a, b) = fe_problem(&ctx);
+    let n = a.nrows();
+    let x0 = vec![0.0; n];
+    let opts = ScalarOptions {
+        max_relaxations: 3 * n as u64,
+        target_residual: None,
+        record_stride: (n as u64 / 16).max(1),
+        seed: 7,
+    };
+    let mut g = c.benchmark_group("fig2");
+    g.sample_size(10);
+    g.bench_function("gauss_seidel_3_sweeps", |bench| {
+        bench.iter(|| gauss_seidel(&a, &b, &x0, &opts))
+    });
+    g.bench_function("sequential_southwell_3_sweeps", |bench| {
+        bench.iter(|| sequential_southwell(&a, &b, &x0, &opts))
+    });
+    g.bench_function("parallel_southwell_3_sweeps", |bench| {
+        bench.iter(|| parallel_southwell(&a, &b, &x0, &opts))
+    });
+    g.bench_function("multicolor_gs_3_sweeps", |bench| {
+        bench.iter(|| multicolor_gauss_seidel(&a, &b, &x0, &opts))
+    });
+    g.bench_function("jacobi_3_sweeps", |bench| {
+        bench.iter(|| jacobi(&a, &b, &x0, &opts))
+    });
+    g.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let ctx = small_ctx();
+    let (a, b) = fe_problem(&ctx);
+    let n = a.nrows();
+    let x0 = vec![0.0; n];
+    let opts = ScalarOptions {
+        max_relaxations: 3 * n as u64,
+        target_residual: None,
+        record_stride: (n as u64 / 16).max(1),
+        seed: 7,
+    };
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    g.bench_function("distributed_southwell_scalar_3_sweeps", |bench| {
+        bench.iter(|| distributed_southwell_scalar(&a, &b, &x0, &opts))
+    });
+    g.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    let dim = 31;
+    let b = gen::random_rhs(dim * dim, 4);
+    g.bench_function("vcycle9_gs_31", |bench| {
+        bench.iter(|| Multigrid::new(dim, Smoother::gauss_seidel(1.0)).solve(&b, 9))
+    });
+    g.bench_function("vcycle9_dsw_half_31", |bench| {
+        bench.iter(|| Multigrid::new(dim, Smoother::distributed_southwell(0.5, 9)).solve(&b, 9))
+    });
+    g.bench_function("vcycle9_dsw_full_31", |bench| {
+        bench.iter(|| Multigrid::new(dim, Smoother::distributed_southwell(1.0, 9)).solve(&b, 9))
+    });
+    g.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    // One contrasting panel: the bone010 stand-in, all three methods over
+    // 50 steps.
+    let ctx = small_ctx();
+    let e = suite::by_name("bone010").unwrap();
+    let prob = setup_problem(ctx.build_suite_matrix(&e), 1);
+    let part = suite_partition(&prob.a, ctx.scaled_ranks(), 1);
+    let opts = DistOptions {
+        max_steps: 50,
+        target_residual: None,
+        divergence_cutoff: None,
+        ..DistOptions::default()
+    };
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    for m in [
+        Method::BlockJacobi,
+        Method::ParallelSouthwell,
+        Method::DistributedSouthwell,
+    ] {
+        g.bench_function(format!("bone010_{}_50_steps", m.label()), |bench| {
+            bench.iter(|| run_method(m, &prob.a, &prob.b, &prob.x0, &part, &opts))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig8_fig9(c: &mut Criterion) {
+    // The full (reduced-scale) scaling sweep backing both figures.
+    let mut ctx = small_ctx();
+    ctx.scale = 0.1;
+    let mut g = c.benchmark_group("fig8_fig9");
+    g.sample_size(10);
+    g.bench_function("scaling_sweep", |bench| bench.iter(|| scaling_points(&ctx)));
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_fig2,
+    bench_fig5,
+    bench_fig6,
+    bench_fig7,
+    bench_fig8_fig9
+);
+criterion_main!(figures);

@@ -1,0 +1,168 @@
+//! Criterion benches regenerating the paper's *tables* at reduced scale:
+//! one group per table (table1, table2, table3, table4) plus the ablation
+//! group for the design-choice studies called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsw_bench::harness::{setup_problem, suite_partition, ExperimentCtx};
+use dsw_core::dist::{run_method, DistOptions, DsConfig, Method};
+use dsw_sparse::suite;
+
+fn small_ctx() -> ExperimentCtx {
+    let mut ctx = ExperimentCtx::smoke();
+    ctx.scale = 0.15;
+    ctx
+}
+
+fn bench_table1(c: &mut Criterion) {
+    // Matrix construction cost for the whole (reduced) inventory.
+    let ctx = small_ctx();
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.bench_function("build_suite", |bench| {
+        bench.iter(|| {
+            suite::suite()
+                .iter()
+                .map(|e| ctx.build_suite_matrix(e).nnz())
+                .sum::<usize>()
+        })
+    });
+    g.finish();
+}
+
+fn bench_table2(c: &mut Criterion) {
+    // The per-matrix measurement unit of Table 2: a 50-step run of each
+    // method on a representative matrix.
+    let ctx = small_ctx();
+    let e = suite::by_name("msdoor").unwrap();
+    let prob = setup_problem(ctx.build_suite_matrix(&e), 1);
+    let part = suite_partition(&prob.a, ctx.scaled_ranks(), 1);
+    let opts = DistOptions {
+        max_steps: 50,
+        target_residual: None,
+        divergence_cutoff: None,
+        ..DistOptions::default()
+    };
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    for m in [
+        Method::BlockJacobi,
+        Method::ParallelSouthwell,
+        Method::DistributedSouthwell,
+    ] {
+        g.bench_function(format!("msdoor_{}", m.label()), |bench| {
+            bench.iter(|| run_method(m, &prob.a, &prob.b, &prob.x0, &part, &opts))
+        });
+    }
+    g.finish();
+}
+
+fn bench_table3(c: &mut Criterion) {
+    // Communication-breakdown measurement: PS vs DS to the 0.1 target.
+    let ctx = small_ctx();
+    let e = suite::by_name("af_5_k101").unwrap();
+    let prob = setup_problem(ctx.build_suite_matrix(&e), 1);
+    let part = suite_partition(&prob.a, ctx.scaled_ranks(), 1);
+    let opts = DistOptions {
+        max_steps: 50,
+        target_residual: Some(0.1),
+        ..DistOptions::default()
+    };
+    let mut g = c.benchmark_group("table3");
+    g.sample_size(10);
+    for m in [Method::ParallelSouthwell, Method::DistributedSouthwell] {
+        g.bench_function(format!("af_5_k101_{}_to_0.1", m.label()), |bench| {
+            bench.iter(|| {
+                let rep = run_method(m, &prob.a, &prob.b, &prob.x0, &part, &opts);
+                (
+                    rep.records.last().unwrap().msgs_solve,
+                    rep.records.last().unwrap().msgs_residual,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_table4(c: &mut Criterion) {
+    // Per-parallel-step cost: a single step of each method (the quantity
+    // Table 4 averages over 50 steps).
+    use dsw_core::dist::{distribute, BlockJacobiRank, DistributedSouthwellRank};
+    use dsw_rma::{CostModel, ExecMode, Executor};
+    let ctx = small_ctx();
+    let e = suite::by_name("Serena").unwrap();
+    let prob = setup_problem(ctx.build_suite_matrix(&e), 1);
+    let part = suite_partition(&prob.a, ctx.scaled_ranks(), 1);
+    let mut g = c.benchmark_group("table4");
+    g.sample_size(20);
+    g.bench_function("serena_BJ_step", |bench| {
+        let locals = distribute(&prob.a, &prob.b, &prob.x0, &part).unwrap();
+        let mut ex = Executor::new(
+            BlockJacobiRank::build(locals),
+            CostModel::default(),
+            ExecMode::Sequential,
+        );
+        bench.iter(|| ex.step())
+    });
+    g.bench_function("serena_DS_step", |bench| {
+        let locals = distribute(&prob.a, &prob.b, &prob.x0, &part).unwrap();
+        let norms: Vec<f64> = locals.iter().map(|l| l.residual_norm_sq()).collect();
+        let r0 = prob.a.residual(&prob.b, &prob.x0);
+        let mut ex = Executor::new(
+            DistributedSouthwellRank::build(locals, &norms, &r0),
+            CostModel::default(),
+            ExecMode::Sequential,
+        );
+        bench.iter(|| ex.step())
+    });
+    g.finish();
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    // The design-choice ablations: DS with and without ghost refinement.
+    let ctx = small_ctx();
+    let e = suite::by_name("msdoor").unwrap();
+    let prob = setup_problem(ctx.build_suite_matrix(&e), 77);
+    let part = suite_partition(&prob.a, ctx.scaled_ranks(), 1);
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+    for (name, cfg) in [
+        ("ds_full", DsConfig::default()),
+        (
+            "ds_no_ghost_refinement",
+            DsConfig {
+                refine_estimates: false,
+                ..DsConfig::default()
+            },
+        ),
+    ] {
+        let opts = DistOptions {
+            max_steps: 50,
+            target_residual: Some(0.1),
+            ds_config: cfg,
+            ..DistOptions::default()
+        };
+        g.bench_function(name, |bench| {
+            bench.iter(|| {
+                run_method(
+                    Method::DistributedSouthwell,
+                    &prob.a,
+                    &prob.b,
+                    &prob.x0,
+                    &part,
+                    &opts,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    tables,
+    bench_table1,
+    bench_table2,
+    bench_table3,
+    bench_table4,
+    bench_ablation
+);
+criterion_main!(tables);

@@ -1,0 +1,167 @@
+//! CLI entry point regenerating the paper's tables and figures.
+//!
+//! ```text
+//! experiments [--scale F] [--ranks N] [--steps K] [--out DIR] <ids...>
+//!   ids: fig1 fig2 fig5 fig6 table1 table2 table3 table4 fig7 fig8 fig9
+//!        ablation threshold comm all smoke
+//! ```
+
+use dsw_bench::experiments::fig2::{run_fig2, run_fig5};
+use dsw_bench::experiments::fig6::run_fig6;
+use dsw_bench::experiments::fig7::{self, FIG7_MATRICES};
+use dsw_bench::experiments::scaling::{run_fig8, run_fig9, scaling_points};
+use dsw_bench::experiments::suite_tables::{suite_runs, table2, table3, table4};
+use dsw_bench::experiments::{ablation, table1};
+use dsw_bench::harness::ExperimentCtx;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ctx = ExperimentCtx::default();
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                ctx.scale = it.next().expect("--scale F").parse().expect("float scale")
+            }
+            "--ranks" => {
+                ctx.ranks = it.next().expect("--ranks N").parse().expect("integer ranks")
+            }
+            "--steps" => {
+                ctx.max_steps = it.next().expect("--steps K").parse().expect("integer steps")
+            }
+            "--out" => ctx.out_dir = it.next().expect("--out DIR").into(),
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        eprintln!(
+            "usage: experiments [--scale F] [--ranks N] [--steps K] [--out DIR] <ids...>\n\
+             ids: fig1 fig2 fig5 fig6 table1 table2 table3 table4 fig7 fig8 fig9\n\
+                  ablation threshold comm all smoke"
+        );
+        std::process::exit(2);
+    }
+
+    for id in ids {
+        match id.as_str() {
+            "fig1" | "fig3" => {
+                dsw_bench::experiments::fig1::run_fig1(&ctx);
+            }
+            "fig2" => {
+                run_fig2(&ctx);
+            }
+            "fig5" => {
+                run_fig5(&ctx);
+            }
+            "fig6" => {
+                run_fig6(&ctx);
+            }
+            "table1" => {
+                table1::run_table1(&ctx);
+            }
+            "table2" | "table3" | "table4" | "tables" => {
+                let runs = suite_runs(&ctx);
+                match id.as_str() {
+                    "table2" => table2(&ctx, &runs),
+                    "table3" => table3(&ctx, &runs),
+                    "table4" => table4(&ctx, &runs),
+                    _ => {
+                        table2(&ctx, &runs);
+                        table3(&ctx, &runs);
+                        table4(&ctx, &runs);
+                    }
+                }
+            }
+            "fig7" => {
+                let runs: Vec<_> = suite_runs(&ctx)
+                    .into_iter()
+                    .filter(|r| FIG7_MATRICES.contains(&r.name))
+                    .collect();
+                fig7::emit(&ctx, &runs);
+            }
+            "fig8" => {
+                run_fig8(&ctx);
+            }
+            "fig9" => {
+                run_fig9(&ctx);
+            }
+            "ablation" => {
+                ablation::run_ablation(&ctx);
+            }
+            "threshold" => {
+                dsw_bench::experiments::threshold::run_threshold(&ctx);
+            }
+            "comm" => {
+                dsw_bench::experiments::comm_pattern::run_comm_pattern(&ctx);
+            }
+            "all" => {
+                dsw_bench::experiments::fig1::run_fig1(&ctx);
+                run_fig2(&ctx);
+                run_fig5(&ctx);
+                run_fig6(&ctx);
+                table1::run_table1(&ctx);
+                let runs = suite_runs(&ctx);
+                table2(&ctx, &runs);
+                table3(&ctx, &runs);
+                table4(&ctx, &runs);
+                let panels: Vec<_> = runs
+                    .into_iter()
+                    .filter(|r| FIG7_MATRICES.contains(&r.name))
+                    .collect();
+                fig7::emit(&ctx, &panels);
+                // Figures 8 and 9 share one sweep.
+                let pts = scaling_points(&ctx);
+                {
+                    use dsw_bench::harness::write_csv;
+                    let rows: Vec<Vec<String>> = pts
+                        .iter()
+                        .map(|pt| {
+                            vec![
+                                pt.matrix.to_string(),
+                                pt.ranks.to_string(),
+                                pt.method.label().to_string(),
+                                pt.time_to_target
+                                    .map(|t| format!("{t:.6}"))
+                                    .unwrap_or("†".into()),
+                                format!("{:.6e}", pt.residual_after_50),
+                            ]
+                        })
+                        .collect();
+                    write_csv(
+                        &ctx.out_dir,
+                        "fig8",
+                        &["matrix", "ranks", "method", "time_to_target_s", "residual_after_50"],
+                        &rows,
+                    );
+                    write_csv(
+                        &ctx.out_dir,
+                        "fig9",
+                        &["matrix", "ranks", "method", "time_to_target_s", "residual_after_50"],
+                        &rows,
+                    );
+                    println!("\n(fig8/fig9 sweep written to CSV; see results/)");
+                }
+                ablation::run_ablation(&ctx);
+                dsw_bench::experiments::threshold::run_threshold(&ctx);
+                dsw_bench::experiments::comm_pattern::run_comm_pattern(&ctx);
+            }
+            "smoke" => {
+                let sctx = ExperimentCtx::smoke();
+                run_fig2(&sctx);
+                run_fig5(&sctx);
+                run_fig6(&sctx);
+                table1::run_table1(&sctx);
+                let runs = suite_runs(&sctx);
+                table2(&sctx, &runs);
+                table3(&sctx, &runs);
+                table4(&sctx, &runs);
+                ablation::run_ablation(&sctx);
+            }
+            other => {
+                eprintln!("unknown experiment id: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Terminal rendering of convergence curves: a minimal log-scale ASCII
+//! line chart, so `experiments -- fig2` shows the *shape* of every figure
+//! without leaving the terminal (CSV output remains the machine-readable
+//! artifact).
+
+/// One named series of `(x, y)` points, `y > 0` expected (log scale).
+pub struct Series<'a> {
+    /// Legend label (first character is used as the plot glyph).
+    pub label: &'a str,
+    /// The points, in increasing-x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Renders series into an `width × height` character grid with a log-10
+/// y-axis, returning the lines (axis labels included).
+pub fn render(series: &[Series<'_>], width: usize, height: usize) -> Vec<String> {
+    assert!(width >= 16 && height >= 4, "chart too small to be useful");
+    let mut xmax = f64::MIN;
+    let mut xmin = f64::MAX;
+    let mut ymax = f64::MIN;
+    let mut ymin = f64::MAX;
+    for s in series {
+        for &(x, y) in &s.points {
+            if y <= 0.0 || !y.is_finite() || !x.is_finite() {
+                continue;
+            }
+            xmin = xmin.min(x);
+            xmax = xmax.max(x);
+            ymin = ymin.min(y.log10());
+            ymax = ymax.max(y.log10());
+        }
+    }
+    if xmin >= xmax {
+        xmax = xmin + 1.0;
+    }
+    if ymin >= ymax {
+        ymax = ymin + 1.0;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for s in series {
+        let glyph = s.label.chars().next().unwrap_or('*');
+        for &(x, y) in &s.points {
+            if y <= 0.0 || !y.is_finite() || !x.is_finite() {
+                continue;
+            }
+            let cx = ((x - xmin) / (xmax - xmin) * (width - 1) as f64).round() as usize;
+            let cy = ((y.log10() - ymin) / (ymax - ymin) * (height - 1) as f64).round() as usize;
+            // y axis grows downward in the grid.
+            let row = height - 1 - cy.min(height - 1);
+            let col = cx.min(width - 1);
+            if grid[row][col] == ' ' || grid[row][col] == glyph {
+                grid[row][col] = glyph;
+            } else {
+                grid[row][col] = '+'; // overlapping series
+            }
+        }
+    }
+
+    let mut out = Vec::with_capacity(height + 2);
+    for (i, row) in grid.into_iter().enumerate() {
+        let ylab = if i == 0 {
+            format!("{:>8.1e}", 10f64.powf(ymax))
+        } else if i == height - 1 {
+            format!("{:>8.1e}", 10f64.powf(ymin))
+        } else {
+            " ".repeat(8)
+        };
+        out.push(format!("{ylab} |{}", row.into_iter().collect::<String>()));
+    }
+    out.push(format!("{} +{}", " ".repeat(8), "-".repeat(width)));
+    out.push(format!(
+        "{}  {:<12} {:>w$.0}",
+        " ".repeat(8),
+        format!("x: {xmin:.0}"),
+        xmax,
+        w = width - 8
+    ));
+    let legend = series
+        .iter()
+        .map(|s| format!("{}={}", s.label.chars().next().unwrap_or('*'), s.label))
+        .collect::<Vec<_>>()
+        .join("  ");
+    out.push(format!("{}  {legend}", " ".repeat(8)));
+    out
+}
+
+/// Prints the chart to stdout.
+pub fn print(series: &[Series<'_>], width: usize, height: usize) {
+    for line in render(series, width, height) {
+        println!("{line}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_monotone_series() {
+        let s = Series {
+            label: "test",
+            points: (0..20).map(|i| (i as f64, 10f64.powi(-i))).collect(),
+        };
+        let lines = render(&[s], 40, 10);
+        assert_eq!(lines.len(), 13);
+        // The glyph appears and the extremes are labelled.
+        assert!(lines.iter().any(|l| l.contains('t')));
+        assert!(lines[0].contains("1.0e0"));
+        assert!(lines.last().unwrap().contains("t=test"));
+    }
+
+    #[test]
+    fn overlap_marked_with_plus() {
+        let a = Series {
+            label: "aaa",
+            points: vec![(0.0, 1.0), (1.0, 0.1)],
+        };
+        let b = Series {
+            label: "bbb",
+            points: vec![(0.0, 1.0), (1.0, 0.01)],
+        };
+        let lines = render(&[a, b], 20, 6);
+        let joined = lines.join("\n");
+        assert!(joined.contains('+'), "overlapping start point");
+        assert!(joined.contains('b'));
+    }
+
+    #[test]
+    fn tolerates_zero_and_nan_values() {
+        let s = Series {
+            label: "z",
+            points: vec![(0.0, 0.0), (1.0, f64::NAN), (2.0, 1.0), (3.0, 0.5)],
+        };
+        let lines = render(&[s], 20, 5);
+        assert!(!lines.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn rejects_tiny_canvas() {
+        render(&[], 4, 2);
+    }
+}

@@ -1,0 +1,139 @@
+//! Figures 1 and 3: the geometric illustration of the Parallel Southwell
+//! criterion — which points (scalar form, Fig. 1) or subdomains (block
+//! form, Fig. 3) are selected to relax in one parallel step.
+//!
+//! The paper's figures are mesh drawings; here the same content renders as
+//! a character grid: `#` marks a selected row/subdomain, `o` a neighbor of
+//! a selected one, `.` everything else.
+
+use crate::harness::{setup_problem, write_csv, ExperimentCtx};
+use dsw_core::scalar::southwell_par::southwell_selection;
+use dsw_partition::{partition_multilevel, Graph, MultilevelOptions};
+use dsw_sparse::gen;
+
+/// Outcome of the illustration (for tests): which rows/subdomains were
+/// selected.
+pub struct IllustrationResult {
+    /// Selected rows in the scalar picture.
+    pub scalar_selected: Vec<usize>,
+    /// Selected subdomains in the block picture.
+    pub block_selected: Vec<usize>,
+    /// Number of subdomains.
+    pub nparts: usize,
+}
+
+/// Runs the illustration on a 2D grid.
+pub fn run_fig1(ctx: &ExperimentCtx) -> IllustrationResult {
+    let dim = 24usize;
+    let mut a = gen::grid2d_poisson(dim, dim);
+    a.scale_unit_diagonal().unwrap();
+    let prob = setup_problem(a, 0xF16);
+    let r = prob.a.residual(&prob.b, &prob.x0);
+
+    // --- Figure 1: scalar selection --------------------------------------
+    let selected = southwell_selection(&prob.a, &r);
+    let is_sel = |i: usize| selected.binary_search(&i).is_ok();
+    println!("\n=== fig1 — one parallel step of Parallel Southwell (scalar) ===");
+    println!("(# = relaxed this step, o = neighbor of a relaxed point)");
+    for j in 0..dim {
+        let mut line = String::with_capacity(dim);
+        for i in 0..dim {
+            let idx = j * dim + i;
+            let c = if is_sel(idx) {
+                '#'
+            } else if prob.a.row_cols(idx).iter().any(|&w| w != idx && is_sel(w)) {
+                'o'
+            } else {
+                '.'
+            };
+            line.push(c);
+        }
+        println!("  {line}");
+    }
+
+    // --- Figure 3: block selection ---------------------------------------
+    let nparts = 16;
+    let part = partition_multilevel(
+        &Graph::from_matrix(&prob.a),
+        nparts,
+        MultilevelOptions::default(),
+    );
+    // Subdomain residual norms and the block criterion with rank ties.
+    let mut norm_sq = vec![0.0f64; nparts];
+    for (i, &ri) in r.iter().enumerate() {
+        norm_sq[part.part_of(i)] += ri * ri;
+    }
+    // Neighbor relation between parts.
+    let mut selected_parts = Vec::new();
+    'parts: for p in 0..nparts {
+        for i in 0..prob.n() {
+            if part.part_of(i) != p {
+                continue;
+            }
+            for &j in prob.a.row_cols(i) {
+                let q = part.part_of(j);
+                if q != p
+                    && !(norm_sq[p] > norm_sq[q] || (norm_sq[p] == norm_sq[q] && p < q))
+                {
+                    continue 'parts;
+                }
+            }
+        }
+        selected_parts.push(p);
+    }
+    println!("\n=== fig3 — one parallel step of block Parallel Southwell ===");
+    println!("(digits/letters = subdomain id, uppercase # overlay = selected)");
+    for j in 0..dim {
+        let mut line = String::with_capacity(dim);
+        for i in 0..dim {
+            let p = part.part_of(j * dim + i);
+            let c = if selected_parts.contains(&p) {
+                '#'
+            } else {
+                char::from_digit((p % 36) as u32, 36).unwrap_or('?')
+            };
+            line.push(c);
+        }
+        println!("  {line}");
+    }
+    println!(
+        "selected subdomains: {:?} of {nparts} (norms are per-subdomain ‖r‖)",
+        selected_parts
+    );
+
+    let rows: Vec<Vec<String>> = selected
+        .iter()
+        .map(|&i| vec!["scalar".into(), i.to_string()])
+        .chain(
+            selected_parts
+                .iter()
+                .map(|&p| vec!["block".into(), p.to_string()]),
+        )
+        .collect();
+    write_csv(&ctx.out_dir, "fig1", &["form", "selected_index"], &rows);
+
+    IllustrationResult {
+        scalar_selected: selected,
+        block_selected: selected_parts,
+        nparts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn illustration_selects_independent_nonempty_sets() {
+        let ctx = ExperimentCtx::smoke();
+        let res = run_fig1(&ctx);
+        assert!(!res.scalar_selected.is_empty());
+        assert!(!res.block_selected.is_empty());
+        assert!(res.block_selected.len() < res.nparts, "not everyone relaxes");
+        // Block selection must be an independent set in the part graph —
+        // guaranteed by the strict criterion; spot-check disjointness of ids.
+        let mut sorted = res.block_selected.clone();
+        sorted.dedup();
+        assert_eq!(sorted.len(), res.block_selected.len());
+    }
+}

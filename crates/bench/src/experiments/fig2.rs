@@ -1,0 +1,198 @@
+//! Figures 2 and 5: scalar convergence on the small finite element problem.
+//!
+//! The problem is a P1 FE discretization of the Poisson equation on an
+//! irregularly triangulated square with 3081 rows; the right-hand side is
+//! uniform random scaled to unit norm; three sweeps of each method are run
+//! and residual norm is plotted against the number of relaxations, with
+//! markers at parallel-step boundaries.
+
+use crate::harness::{write_csv, ExperimentCtx};
+use dsw_core::scalar::{
+    distributed_southwell_scalar, gauss_seidel, jacobi, multicolor_gauss_seidel,
+    parallel_southwell, sequential_southwell, ScalarOptions,
+};
+use dsw_core::ScalarHistory;
+use dsw_sparse::gen::fe::{fe_poisson, FeMeshOptions};
+use dsw_sparse::{gen, CsrMatrix};
+
+/// One method's curve.
+pub struct Curve {
+    /// Method label as in the paper's legend.
+    pub label: &'static str,
+    /// Convergence history.
+    pub history: ScalarHistory,
+}
+
+/// Result of the Figure 2 / Figure 5 experiment.
+pub struct ScalarConvergence {
+    /// Number of rows (3081 at full scale).
+    pub n: usize,
+    /// One curve per method.
+    pub curves: Vec<Curve>,
+}
+
+/// Builds the paper's 3081-row FE problem (scaled by `ctx.scale`).
+pub fn fe_problem(ctx: &ExperimentCtx) -> (CsrMatrix, Vec<f64>) {
+    let base = FeMeshOptions::default(); // 80 x 40 cells -> 3081 rows
+    let opts = if (ctx.scale - 1.0).abs() < 1e-12 {
+        base
+    } else {
+        FeMeshOptions {
+            nx: ((base.nx as f64 * ctx.scale) as usize).max(4),
+            ny: ((base.ny as f64 * ctx.scale) as usize).max(4),
+            ..base
+        }
+    };
+    let a = fe_poisson(opts);
+    let b = gen::random_rhs(a.nrows(), 20170101);
+    (a, b)
+}
+
+fn three_sweep_opts(n: usize) -> ScalarOptions {
+    ScalarOptions {
+        max_relaxations: 3 * n as u64,
+        target_residual: None,
+        record_stride: (n as u64 / 64).max(1),
+        seed: 7,
+    }
+}
+
+/// Runs the Figure 2 methods (GS, SW, Par SW, MC GS, Jacobi).
+pub fn run_fig2(ctx: &ExperimentCtx) -> ScalarConvergence {
+    let (a, b) = fe_problem(ctx);
+    let n = a.nrows();
+    let x0 = vec![0.0; n];
+    let opts = three_sweep_opts(n);
+    let curves = vec![
+        curve("GS", gauss_seidel(&a, &b, &x0, &opts).1),
+        curve("SW", sequential_southwell(&a, &b, &x0, &opts).1),
+        curve("Par SW", parallel_southwell(&a, &b, &x0, &opts).1),
+        curve("MC GS", multicolor_gauss_seidel(&a, &b, &x0, &opts).1),
+        curve("Jacobi", jacobi(&a, &b, &x0, &opts).1),
+    ];
+    let result = ScalarConvergence { n, curves };
+    emit(ctx, "fig2", &result);
+    result
+}
+
+/// Runs the Figure 5 methods (SW, Par SW, MC GS, Dist SW — scalar forms).
+pub fn run_fig5(ctx: &ExperimentCtx) -> ScalarConvergence {
+    let (a, b) = fe_problem(ctx);
+    let n = a.nrows();
+    let x0 = vec![0.0; n];
+    let opts = three_sweep_opts(n);
+    let ds = distributed_southwell_scalar(&a, &b, &x0, &opts);
+    let curves = vec![
+        curve("SW", sequential_southwell(&a, &b, &x0, &opts).1),
+        curve("Par SW", parallel_southwell(&a, &b, &x0, &opts).1),
+        curve("MC GS", multicolor_gauss_seidel(&a, &b, &x0, &opts).1),
+        curve("Dist SW", ds.history),
+    ];
+    let result = ScalarConvergence { n, curves };
+    emit(ctx, "fig5", &result);
+    result
+}
+
+fn curve(label: &'static str, history: ScalarHistory) -> Curve {
+    Curve { label, history }
+}
+
+fn emit(ctx: &ExperimentCtx, name: &str, result: &ScalarConvergence) {
+    println!("\n=== {} — scalar convergence, n = {} (3 sweeps) ===", name, result.n);
+    println!(
+        "{:<8} {:>10} {:>14} {:>12} {:>16}",
+        "method", "steps", "relaxations", "final ‖r‖", "relax to ‖r‖=0.6"
+    );
+    let mut rows = Vec::new();
+    for c in &result.curves {
+        let to06 = c.history.relaxations_to_reach(0.6);
+        let steps = match c.history.parallel_steps() {
+            0 => "-".to_string(), // one-at-a-time method: no parallel steps
+            k => k.to_string(),
+        };
+        println!(
+            "{:<8} {:>10} {:>14} {:>12.4} {:>16}",
+            c.label,
+            steps,
+            c.history.total_relaxations,
+            c.history.final_residual,
+            to06.map(|v| format!("{v:.0}")).unwrap_or("†".into()),
+        );
+        for s in &c.history.samples {
+            rows.push(vec![
+                c.label.to_string(),
+                s.relaxations.to_string(),
+                format!("{:.6e}", s.residual_norm),
+            ]);
+        }
+    }
+    // The paper's plot shape, in the terminal.
+    let series: Vec<crate::chart::Series<'_>> = result
+        .curves
+        .iter()
+        .map(|c| crate::chart::Series {
+            label: c.label,
+            points: c
+                .history
+                .samples
+                .iter()
+                .map(|s| (s.relaxations as f64, s.residual_norm))
+                .collect(),
+        })
+        .collect();
+    crate::chart::print(&series, 72, 16);
+    write_csv(&ctx.out_dir, name, &["method", "relaxations", "residual_norm"], &rows);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_shape_holds_at_small_scale() {
+        let ctx = ExperimentCtx::smoke();
+        let r = run_fig2(&ctx);
+        let get = |l: &str| {
+            r.curves
+                .iter()
+                .find(|c| c.label == l)
+                .unwrap()
+                .history
+                .relaxations_to_reach(0.6)
+                .expect("reaches 0.6 within 3 sweeps")
+        };
+        // Paper's qualitative ordering at low accuracy: SW fastest,
+        // Par SW close, both well below GS; Jacobi slowest.
+        let (sw, psw, gs, j) = (get("SW"), get("Par SW"), get("GS"), get("Jacobi"));
+        assert!(sw < gs, "SW {sw} !< GS {gs}");
+        assert!(psw < gs, "ParSW {psw} !< GS {gs}");
+        assert!(gs < j, "GS {gs} !< Jacobi {j}");
+    }
+
+    #[test]
+    fn fig5_ds_tracks_psw() {
+        let ctx = ExperimentCtx::smoke();
+        let r = run_fig5(&ctx);
+        let get = |l: &str| {
+            r.curves
+                .iter()
+                .find(|c| c.label == l)
+                .unwrap()
+                .history
+                .relaxations_to_reach(0.6)
+                .expect("reaches 0.6")
+        };
+        let (ds, psw) = (get("Dist SW"), get("Par SW"));
+        assert!(ds < 2.0 * psw, "DS {ds} should track ParSW {psw}");
+        // DS takes fewer parallel steps (more relaxations per step).
+        let steps = |l: &str| {
+            r.curves
+                .iter()
+                .find(|c| c.label == l)
+                .unwrap()
+                .history
+                .parallel_steps()
+        };
+        assert!(steps("Dist SW") <= steps("Par SW"));
+    }
+}

@@ -1,0 +1,109 @@
+//! Figure 6: multigrid smoothing — relative residual after 9 V-cycles for
+//! increasing grid dimensions, Gauss–Seidel vs Distributed Southwell
+//! smoothers ("1 sweep" and "1/2 sweep").
+
+use crate::harness::{write_csv, ExperimentCtx};
+use dsw_multigrid::{Multigrid, Smoother};
+use dsw_sparse::gen;
+
+/// One (smoother, grid) measurement.
+pub struct Fig6Point {
+    /// Smoother label as in the paper's legend.
+    pub label: &'static str,
+    /// Grid dimension.
+    pub dim: usize,
+    /// Relative residual norm after 9 V-cycles.
+    pub rel_residual: f64,
+}
+
+/// The grid dimensions of the paper (15 → 255), truncated at smoke scale.
+pub fn dims(ctx: &ExperimentCtx) -> Vec<usize> {
+    let all = [15usize, 31, 63, 127, 255];
+    let keep = if ctx.scale >= 1.0 { 5 } else { 3 };
+    all[..keep].to_vec()
+}
+
+/// Runs the experiment.
+pub fn run_fig6(ctx: &ExperimentCtx) -> Vec<Fig6Point> {
+    let smoothers: [(&'static str, Smoother); 3] = [
+        ("GS, 1 sweep", Smoother::gauss_seidel(1.0)),
+        ("Dist SW, 1/2 sweep", Smoother::distributed_southwell(0.5, 99)),
+        ("Dist SW, 1 sweep", Smoother::distributed_southwell(1.0, 99)),
+    ];
+    let mut points = Vec::new();
+    println!("\n=== fig6 — rel. residual after 9 V-cycles (2D Poisson) ===");
+    println!("{:<20} {}", "smoother", "dim: rel residual ...");
+    for (label, sm) in smoothers {
+        let mut line = format!("{label:<20}");
+        for dim in dims(ctx) {
+            let n = dim * dim;
+            let b = gen::random_rhs(n, 4100 + dim as u64);
+            let mut mg = Multigrid::new(dim, sm);
+            let (_, hist) = mg.solve(&b, 9);
+            let rel = hist[8];
+            line.push_str(&format!(" {dim}:{rel:.3e}"));
+            points.push(Fig6Point {
+                label,
+                dim,
+                rel_residual: rel,
+            });
+        }
+        println!("{line}");
+    }
+    let csv: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.label.to_string(),
+                p.dim.to_string(),
+                format!("{:.6e}", p.rel_residual),
+            ]
+        })
+        .collect();
+    write_csv(
+        &ctx.out_dir,
+        "fig6",
+        &["smoother", "grid_dim", "rel_residual_after_9_vcycles"],
+        &csv,
+    );
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_shape_holds() {
+        let ctx = ExperimentCtx::smoke();
+        let pts = run_fig6(&ctx);
+        // Grid-independence: per smoother, max/min across dims is bounded.
+        for label in ["GS, 1 sweep", "Dist SW, 1/2 sweep", "Dist SW, 1 sweep"] {
+            let vals: Vec<f64> = pts
+                .iter()
+                .filter(|p| p.label == label)
+                .map(|p| p.rel_residual)
+                .collect();
+            assert!(!vals.is_empty());
+            let max = vals.iter().cloned().fold(0.0f64, f64::max);
+            let min = vals.iter().cloned().fold(f64::MAX, f64::min);
+            assert!(
+                max / min < 200.0,
+                "{label}: not grid independent {vals:?}"
+            );
+            assert!(max < 1e-4, "{label}: 9 V-cycles should converge, {vals:?}");
+        }
+        // DS 1 sweep beats GS 1 sweep on the largest grid tested.
+        let largest = pts.iter().map(|p| p.dim).max().unwrap();
+        let at = |l: &str| {
+            pts.iter()
+                .find(|p| p.label == l && p.dim == largest)
+                .unwrap()
+                .rel_residual
+        };
+        assert!(
+            at("Dist SW, 1 sweep") < at("GS, 1 sweep"),
+            "DS should be the more efficient smoother"
+        );
+    }
+}

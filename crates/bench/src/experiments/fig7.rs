@@ -1,0 +1,91 @@
+//! Figure 7: residual norm against wall-clock time, communication cost,
+//! and parallel step for four matrices exhibiting the different Block
+//! Jacobi behaviours (reaches 0.1 then diverges / never reaches 0.1 /
+//! never diverges).
+
+use crate::experiments::suite_tables::{suite_runs, SuiteRun};
+#[cfg(test)]
+use crate::experiments::suite_tables::METHODS;
+use crate::harness::{write_csv, ExperimentCtx};
+
+/// The four matrices the paper plots.
+pub const FIG7_MATRICES: [&str; 4] = ["Geo_1438", "Hook_1498", "bone010", "af_5_k101"];
+
+/// Runs the experiment (full-suite runs, then the four panels extracted).
+pub fn run_fig7(ctx: &ExperimentCtx) -> Vec<SuiteRun> {
+    let runs: Vec<SuiteRun> = suite_runs(ctx)
+        .into_iter()
+        .filter(|r| FIG7_MATRICES.contains(&r.name))
+        .collect();
+    emit(ctx, &runs);
+    runs
+}
+
+/// Prints the summary and writes per-step CSV series.
+pub fn emit(ctx: &ExperimentCtx, runs: &[SuiteRun]) {
+    println!("\n=== fig7 — residual vs time / comm / steps, four BJ regimes ===");
+    let mut rows = Vec::new();
+    for run in runs {
+        println!("\n{} — residual norm vs parallel step:", run.name);
+        let series: Vec<crate::chart::Series<'_>> = run
+            .reports
+            .iter()
+            .map(|rep| crate::chart::Series {
+                label: rep.method.label(),
+                points: rep
+                    .records
+                    .iter()
+                    .map(|rec| (rec.step as f64, rec.residual_norm))
+                    .collect(),
+            })
+            .collect();
+        crate::chart::print(&series, 60, 12);
+        for rep in &run.reports {
+            let final_r = rep.final_residual();
+            let reached = rep.steps_to_reach(0.1).is_some();
+            println!(
+                "{:<12} {:<3}: final ‖r‖ = {:>10.3e} after {:>2} steps, reached 0.1: {}, diverged: {}",
+                run.name,
+                rep.method.label(),
+                final_r,
+                rep.records.len() - 1,
+                reached,
+                rep.diverged || final_r > 1.0,
+            );
+            for rec in &rep.records {
+                rows.push(vec![
+                    run.name.to_string(),
+                    rep.method.label().to_string(),
+                    rec.step.to_string(),
+                    format!("{:.6e}", rec.time),
+                    format!("{:.3}", rec.msgs as f64 / rep.nranks as f64),
+                    format!("{:.6e}", rec.residual_norm),
+                ]);
+            }
+        }
+    }
+    write_csv(
+        &ctx.out_dir,
+        "fig7",
+        &["matrix", "method", "step", "time_s", "comm_cost", "residual_norm"],
+        &rows,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panels_have_all_methods_and_steps() {
+        let ctx = ExperimentCtx::smoke();
+        let runs = run_fig7(&ctx);
+        assert_eq!(runs.len(), 4);
+        for run in &runs {
+            assert_eq!(run.reports.len(), METHODS.len());
+            for rep in &run.reports {
+                assert!(rep.records.len() >= 2, "{}: no steps", run.name);
+            }
+        }
+    }
+}

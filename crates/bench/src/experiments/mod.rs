@@ -1,0 +1,29 @@
+//! One module per table/figure of the paper's evaluation.
+//!
+//! | id     | reproduces                                             |
+//! |--------|--------------------------------------------------------|
+//! | fig2   | scalar convergence of GS/SW/ParSW/MC-GS/Jacobi          |
+//! | fig5   | scalar Distributed Southwell vs the others              |
+//! | fig6   | multigrid smoothing, grids 15–255                       |
+//! | table1 | the test-matrix inventory (stand-ins)                   |
+//! | table2 | DS vs PS vs BJ to ‖r‖ = 0.1 at fixed ranks              |
+//! | table3 | communication breakdown (solve vs explicit residual)    |
+//! | table4 | per-parallel-step cost over 50 steps                    |
+//! | fig7   | residual vs time/comm/steps for 4 contrasting matrices  |
+//! | fig8   | strong scaling: time to ‖r‖ = 0.1 vs rank count         |
+//! | fig9   | residual after 50 steps vs rank count                   |
+//! | ablation | deadlock-avoidance and ghost-refinement ablations     |
+
+pub mod ablation;
+pub mod comm_pattern;
+pub mod fig1;
+pub mod fig2;
+pub mod fig6;
+pub mod fig7;
+pub mod scaling;
+pub mod suite_tables;
+pub mod table1;
+pub mod threshold;
+
+pub use scaling::{run_fig8, run_fig9};
+pub use suite_tables::{run_table2, run_table3, run_table4};

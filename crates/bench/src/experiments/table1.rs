@@ -1,0 +1,111 @@
+//! Table 1: the test-matrix inventory — paper originals and the synthetic
+//! stand-ins actually built (see DESIGN.md for the substitution rationale).
+
+use crate::harness::{write_csv, ExperimentCtx};
+use dsw_sparse::analysis::{jacobi_spectral_radius, matrix_stats};
+use dsw_sparse::suite::{suite, BlockJacobiRegime};
+
+/// One row of the inventory.
+pub struct InventoryRow {
+    /// SuiteSparse name.
+    pub name: &'static str,
+    /// Original row count.
+    pub paper_n: u64,
+    /// Original nonzeros.
+    pub paper_nnz: u64,
+    /// Stand-in row count at this context's scale.
+    pub n: usize,
+    /// Stand-in nonzeros.
+    pub nnz: usize,
+    /// Power-iteration estimate of the point-Jacobi spectral radius of the
+    /// (unit-diagonal) stand-in — the dial behind the BJ regimes.
+    pub jacobi_radius: f64,
+    /// Fraction of positive off-diagonal entries.
+    pub positive_offdiag: f64,
+    /// The Block Jacobi regime the stand-in is tuned for.
+    pub regime: BlockJacobiRegime,
+}
+
+/// Builds and prints the inventory.
+pub fn run_table1(ctx: &ExperimentCtx) -> Vec<InventoryRow> {
+    let mut rows = Vec::new();
+    println!("\n=== table1 — test problems (paper original → synthetic stand-in) ===");
+    println!(
+        "{:<12} {:>12} {:>12} {:>10} {:>12} {:>8} {:>8}  {}",
+        "matrix", "paper nnz", "paper rows", "rows", "nonzeros", "ρ(Jac)", "off>0", "BJ regime"
+    );
+    for e in suite() {
+        let a = ctx.build_suite_matrix(&e);
+        let stats = matrix_stats(&a);
+        let rho = jacobi_spectral_radius(&a, 60);
+        println!(
+            "{:<12} {:>12} {:>12} {:>10} {:>12} {:>8.3} {:>8.2}  {:?}",
+            e.name,
+            e.paper_nnz,
+            e.paper_n,
+            a.nrows(),
+            a.nnz(),
+            rho,
+            stats.positive_offdiag_fraction,
+            e.regime
+        );
+        rows.push(InventoryRow {
+            name: e.name,
+            paper_n: e.paper_n,
+            paper_nnz: e.paper_nnz,
+            n: a.nrows(),
+            nnz: a.nnz(),
+            jacobi_radius: rho,
+            positive_offdiag: stats.positive_offdiag_fraction,
+            regime: e.regime,
+        });
+    }
+    let csv: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                r.paper_n.to_string(),
+                r.paper_nnz.to_string(),
+                r.n.to_string(),
+                r.nnz.to_string(),
+                format!("{:.4}", r.jacobi_radius),
+                format!("{:.3}", r.positive_offdiag),
+                format!("{:?}", r.regime),
+            ]
+        })
+        .collect();
+    write_csv(
+        &ctx.out_dir,
+        "table1",
+        &[
+            "matrix",
+            "paper_rows",
+            "paper_nnz",
+            "rows",
+            "nnz",
+            "jacobi_radius",
+            "positive_offdiag_fraction",
+            "bj_regime",
+        ],
+        &csv,
+    );
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inventory_has_fourteen_rows_sorted_by_paper_nnz() {
+        let ctx = ExperimentCtx::smoke();
+        let rows = run_table1(&ctx);
+        assert_eq!(rows.len(), 14);
+        // Table 1 order is decreasing paper nnz.
+        for w in rows.windows(2) {
+            assert!(w[0].paper_nnz >= w[1].paper_nnz);
+        }
+        assert!(rows.iter().all(|r| r.n > 0 && r.nnz > 0));
+    }
+}

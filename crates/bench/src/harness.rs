@@ -1,0 +1,194 @@
+//! Shared harness utilities: §4.2's problem setup, partitioning, CSV
+//! output, and the run-context plumbing every experiment uses.
+
+use dsw_core::dist::{run_method, DistOptions, DistReport, Method};
+use dsw_partition::{partition_multilevel, Graph, MultilevelOptions, Partition};
+use dsw_sparse::suite::SuiteEntry;
+use dsw_sparse::{gen, vecops, CsrMatrix};
+use std::io::Write;
+use std::path::PathBuf;
+
+/// The simulated-rank count standing in for the paper's 8192 MPI processes
+/// (scaled with the matrix sizes so subdomain sizes match the paper's
+/// regime; see DESIGN.md).
+pub const DEFAULT_RANKS: usize = 512;
+
+/// A ready-to-run test problem in the paper's §4.2 setup: unit-diagonal
+/// SPD matrix, `b = 0`, random initial guess scaled so `‖r⁰‖₂ = 1`.
+pub struct Problem {
+    /// The (already unit-diagonal) matrix.
+    pub a: CsrMatrix,
+    /// Right-hand side (all zeros in the distributed experiments).
+    pub b: Vec<f64>,
+    /// Initial guess, scaled for a unit initial residual.
+    pub x0: Vec<f64>,
+}
+
+impl Problem {
+    /// Number of unknowns.
+    pub fn n(&self) -> usize {
+        self.a.nrows()
+    }
+}
+
+/// Builds the §4.2 problem for an (already unit-scaled) matrix.
+pub fn setup_problem(a: CsrMatrix, seed: u64) -> Problem {
+    let n = a.nrows();
+    let b = vec![0.0; n];
+    let mut x0 = gen::random_guess(n, seed);
+    let r0 = a.residual(&b, &x0);
+    let scale = 1.0 / vecops::norm2(&r0);
+    for v in x0.iter_mut() {
+        *v *= scale;
+    }
+    Problem { a, b, x0 }
+}
+
+/// Partitions a suite problem over `p` ranks with the multilevel
+/// partitioner (the METIS stand-in).
+pub fn suite_partition(a: &CsrMatrix, p: usize, seed: u64) -> Partition {
+    let g = Graph::from_matrix(a);
+    partition_multilevel(
+        &g,
+        p,
+        MultilevelOptions {
+            seed,
+            ..MultilevelOptions::default()
+        },
+    )
+}
+
+/// Experiment context: where outputs go and how large runs are.
+#[derive(Debug, Clone)]
+pub struct ExperimentCtx {
+    /// Directory for CSV outputs.
+    pub out_dir: PathBuf,
+    /// Scale factor applied to suite matrix dimensions (1.0 = full size;
+    /// smaller for smoke tests).
+    pub scale: f64,
+    /// Rank count for the fixed-P experiments.
+    pub ranks: usize,
+    /// Maximum parallel steps (the paper uses 50).
+    pub max_steps: usize,
+}
+
+impl Default for ExperimentCtx {
+    fn default() -> Self {
+        ExperimentCtx {
+            out_dir: PathBuf::from("results"),
+            scale: 1.0,
+            ranks: DEFAULT_RANKS,
+            max_steps: 50,
+        }
+    }
+}
+
+impl ExperimentCtx {
+    /// A small configuration for smoke tests and Criterion benches.
+    pub fn smoke() -> Self {
+        ExperimentCtx {
+            out_dir: std::env::temp_dir().join("dsw-results"),
+            scale: 0.25,
+            ranks: 32,
+            max_steps: 50,
+        }
+    }
+
+    /// Builds a suite matrix at this context's scale.
+    pub fn build_suite_matrix(&self, e: &SuiteEntry) -> CsrMatrix {
+        if (self.scale - 1.0).abs() < 1e-12 {
+            e.build()
+        } else {
+            e.build_small(self.scale)
+        }
+    }
+
+    /// Rank count scaled the same way the matrices are.
+    pub fn scaled_ranks(&self) -> usize {
+        if (self.scale - 1.0).abs() < 1e-12 {
+            self.ranks
+        } else {
+            // Subdomain sizes shrink with scale³ for 3D recipes; keep the
+            // rank count proportional to the *row* count reduction so
+            // subdomain sizes stay in the paper's regime.
+            ((self.ranks as f64) * self.scale * self.scale).ceil().max(4.0) as usize
+        }
+    }
+}
+
+/// Runs one method on a problem/partition with the context's step cap.
+pub fn run_one(
+    method: Method,
+    prob: &Problem,
+    part: &Partition,
+    max_steps: usize,
+    target: Option<f64>,
+) -> DistReport {
+    let opts = DistOptions {
+        max_steps,
+        target_residual: target,
+        ..DistOptions::default()
+    };
+    run_method(method, &prob.a, &prob.b, &prob.x0, part, &opts)
+}
+
+/// Writes rows of `(header, rows)` to `<out_dir>/<name>.csv`.
+pub fn write_csv(out_dir: &PathBuf, name: &str, header: &[&str], rows: &[Vec<String>]) {
+    std::fs::create_dir_all(out_dir).expect("create results dir");
+    let path = out_dir.join(format!("{name}.csv"));
+    let mut f = std::fs::File::create(&path).expect("create csv");
+    writeln!(f, "{}", header.join(",")).unwrap();
+    for row in rows {
+        writeln!(f, "{}", row.join(",")).unwrap();
+    }
+}
+
+/// Formats a float like the paper's tables (3 decimals), with a dagger for
+/// missing values ("could not achieve the target in 50 parallel steps").
+pub fn fmt_or_dagger(v: Option<f64>, decimals: usize) -> String {
+    match v {
+        Some(x) => format!("{x:.decimals$}"),
+        None => "†".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn setup_problem_has_unit_residual() {
+        let mut a = gen::grid2d_poisson(10, 10);
+        a.scale_unit_diagonal().unwrap();
+        let p = setup_problem(a, 3);
+        let r0 = p.a.residual(&p.b, &p.x0);
+        assert!((vecops::norm2(&r0) - 1.0).abs() < 1e-12);
+        assert!(p.b.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn smoke_ctx_scales() {
+        let ctx = ExperimentCtx::smoke();
+        assert!(ctx.scaled_ranks() < DEFAULT_RANKS);
+        assert!(ctx.scaled_ranks() >= 4);
+    }
+
+    #[test]
+    fn fmt_dagger() {
+        assert_eq!(fmt_or_dagger(Some(1.23456), 3), "1.235");
+        assert_eq!(fmt_or_dagger(None, 3), "†");
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join("dsw-csv-test");
+        write_csv(
+            &dir,
+            "t",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()]],
+        );
+        let text = std::fs::read_to_string(dir.join("t.csv")).unwrap();
+        assert_eq!(text, "a,b\n1,2\n");
+    }
+}

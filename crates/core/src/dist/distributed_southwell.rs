@@ -1,0 +1,548 @@
+//! Distributed Southwell, block form (Algorithm 3 — the paper's
+//! contribution).
+//!
+//! The premise (§3): neighbor residual norms "do not need to be known
+//! exactly". Each rank keeps
+//!
+//! * `Γ` (`gamma_sq`) — *estimates* of the neighbors' residual norms,
+//! * `z` — a ghost layer holding its copy of the residual values at the
+//!   neighbors' boundary points,
+//! * `Γ̃` (`tilde_sq`) — its record of what each neighbor currently believes
+//!   *its own* norm to be.
+//!
+//! When a rank relaxes, formula (3) of the paper lets it compute the effect
+//! of its relaxation on each neighbor's boundary residuals from purely local
+//! data (`a_{ηj,i} = a_{i,ηj}` is stored with row `i`), so it refreshes `z`
+//! and `Γ` **without communication**. `Γ̃` is what makes the scheme safe:
+//! if `‖r_p‖ < Γ̃_p[q]`, neighbor `q` overestimates `p` and might wait on
+//! `p` forever — `p` then sends `q` one explicit residual update. That is
+//! the *only* explicit communication, which is why DS needs roughly a third
+//! of Parallel Southwell's messages (Tables 2–3).
+//!
+//! ### Crossing-message rule
+//!
+//! Algorithm 3 overwrites `Γ̃` with the estimate piggybacked on every
+//! incoming message. When two neighbors send to each other in the *same*
+//! epoch, the piggybacked estimates are mutually stale: `q`'s own piggyback
+//! overwrites `p`'s estimate of `q` after `q` computed the estimate field it
+//! sent. To keep `Γ̃` exact — the property the paper relies on ("this value
+//! is always exactly known") — the receiver ignores the estimate field from
+//! a sender it itself messaged in that epoch; its own piggyback, which it
+//! already recorded at send time, is the sender's final word. The
+//! `gamma_tilde_is_exact` integration test checks the invariant globally.
+
+use super::layout::LocalSystem;
+use super::local_solver::{LocalSolver, LocalSolverImpl};
+use super::msg::DistMsg;
+use crate::scalar::beats;
+use dsw_rma::{CommClass, Envelope, PhaseCtx, RankAlgorithm};
+
+/// Toggles for the ablation studies (see DESIGN.md).
+#[derive(Debug, Clone, Copy)]
+pub struct DsConfig {
+    /// Refine `Γ` and `z` locally when relaxing (the paper's scheme).
+    /// Disabled, estimates change only via incoming messages, and far more
+    /// explicit updates are needed (`ablation_ghost` bench).
+    pub refine_estimates: bool,
+    /// Send deadlock-avoidance messages (Alg. 3 lines 27–30). Disabled, the
+    /// method can freeze exactly like the ICCS'16 scheme.
+    pub deadlock_avoidance: bool,
+    /// Local subdomain solver (the artifact's `-loc_solver` switch).
+    pub local_solver: LocalSolver,
+    /// Variable-threshold message coalescing — the further
+    /// communication-reduction possibility the paper points to in §5
+    /// (de Jager & Bradley's asynchronous variable-threshold scheme).
+    /// After relaxing, the residual deltas for neighbor `q` are sent only
+    /// once their accumulated 2-norm reaches `threshold · ‖r_p‖`; smaller
+    /// contributions stay in a local pending buffer and ride along with the
+    /// next flush. `0.0` (default) reproduces Algorithm 3 exactly. The
+    /// receiver's maintained residual lags by the pending amount — an
+    /// additional, bounded estimate error the protocol already tolerates —
+    /// and because the threshold is relative to the sender's shrinking
+    /// residual norm, every contribution is eventually delivered.
+    pub solve_msg_threshold: f64,
+}
+
+impl Default for DsConfig {
+    fn default() -> Self {
+        DsConfig {
+            refine_estimates: true,
+            deadlock_avoidance: true,
+            local_solver: LocalSolver::GaussSeidel,
+            solve_msg_threshold: 0.0,
+        }
+    }
+}
+
+/// One rank of block Distributed Southwell.
+pub struct DistributedSouthwellRank {
+    /// The local piece of the system.
+    pub ls: LocalSystem,
+    /// `Γ`: estimated neighbor residual norms (squared), per neighbor slot.
+    pub gamma_sq: Vec<f64>,
+    /// `Γ̃`: per neighbor slot, the (exact) record of that neighbor's
+    /// estimate of *this* rank's norm (squared).
+    pub tilde_sq: Vec<f64>,
+    /// Ghost residual layer, aligned with `ls.ext_cols`.
+    pub z: Vec<f64>,
+    /// ‖r_p‖² cache.
+    my_norm_sq: f64,
+    /// Which neighbors this rank messaged in the previous phase
+    /// (for the crossing-message rule).
+    sent_prev_phase: Vec<bool>,
+    /// Whether this rank relaxed in the most recent parallel step
+    /// (observability hook for tests and the harness).
+    pub relaxed_last_step: bool,
+    cfg: DsConfig,
+    solver: LocalSolverImpl,
+    ghost_dr: Vec<f64>,
+    /// Residual deltas not yet delivered under the variable-threshold
+    /// extension (always zero when `solve_msg_threshold == 0`).
+    pending_dr: Vec<f64>,
+}
+
+impl DistributedSouthwellRank {
+    /// Wraps local systems into Distributed Southwell ranks with the
+    /// default configuration. `norms_sq` holds every rank's initial ‖r‖²
+    /// and `r_global` the initial global residual (the setup exchange that
+    /// fills the ghost layers exactly).
+    pub fn build(locals: Vec<LocalSystem>, norms_sq: &[f64], r_global: &[f64]) -> Vec<Self> {
+        Self::build_with(locals, norms_sq, r_global, DsConfig::default())
+    }
+
+    /// As [`build`](Self::build) with explicit configuration.
+    pub fn build_with(
+        locals: Vec<LocalSystem>,
+        norms_sq: &[f64],
+        r_global: &[f64],
+        cfg: DsConfig,
+    ) -> Vec<Self> {
+        locals
+            .into_iter()
+            .map(|ls| {
+                let gamma_sq: Vec<f64> = ls.neighbors.iter().map(|&q| norms_sq[q]).collect();
+                let tilde_sq = vec![norms_sq[ls.rank]; ls.neighbors.len()];
+                let z: Vec<f64> = ls.ext_cols.iter().map(|&g| r_global[g]).collect();
+                let my = norms_sq[ls.rank];
+                let nb = ls.neighbors.len();
+                let g = ls.ext_cols.len();
+                DistributedSouthwellRank {
+                    solver: LocalSolverImpl::new(cfg.local_solver, &ls),
+                    ls,
+                    gamma_sq,
+                    tilde_sq,
+                    z,
+                    my_norm_sq: my,
+                    sent_prev_phase: vec![false; nb],
+                    relaxed_last_step: false,
+                    cfg,
+                    ghost_dr: vec![0.0; g],
+                    pending_dr: vec![0.0; g],
+                }
+            })
+            .collect()
+    }
+
+    /// The Southwell criterion against the local *estimates*.
+    fn wins(&self) -> bool {
+        if self.my_norm_sq == 0.0 {
+            return false;
+        }
+        self.ls
+            .neighbors
+            .iter()
+            .zip(&self.gamma_sq)
+            .all(|(&q, &g)| beats(self.my_norm_sq, self.ls.rank, g, q))
+    }
+
+    /// Applies an incoming message: residual deltas (solve only), ghost
+    /// overwrite, `Γ` overwrite, and — subject to the crossing rule —
+    /// `Γ̃` overwrite.
+    fn apply_msg(&mut self, src: usize, msg: &DistMsg) {
+        let s = self.ls.neighbor_slot(src);
+        let (boundary_r, norm_sq, est) = match msg {
+            DistMsg::Solve {
+                dr,
+                boundary_r,
+                norm_sq,
+                est_of_target_sq,
+            } => {
+                for (&li, &d) in self.ls.boundary_rows_to[s].iter().zip(dr) {
+                    self.ls.r[li as usize] += d;
+                }
+                (boundary_r, *norm_sq, *est_of_target_sq)
+            }
+            DistMsg::Residual {
+                boundary_r,
+                norm_sq,
+                est_of_target_sq,
+            } => (boundary_r, *norm_sq, *est_of_target_sq),
+        };
+        for (&slot, &v) in self.ls.ghosts_of[s].iter().zip(boundary_r) {
+            self.z[slot as usize] = v;
+        }
+        self.gamma_sq[s] = norm_sq;
+        if !self.sent_prev_phase[s] {
+            self.tilde_sq[s] = est;
+        }
+    }
+}
+
+impl RankAlgorithm for DistributedSouthwellRank {
+    type Msg = DistMsg;
+
+    fn phases(&self) -> usize {
+        2
+    }
+
+    fn phase(&mut self, phase: usize, inbox: &[Envelope<DistMsg>], ctx: &mut PhaseCtx<DistMsg>) {
+        match phase {
+            0 => {
+                // Read the deadlock-avoidance updates of the previous step.
+                for env in inbox {
+                    self.apply_msg(env.src, &env.payload);
+                }
+                self.sent_prev_phase.iter_mut().for_each(|f| *f = false);
+                self.my_norm_sq = self.ls.residual_norm_sq();
+                self.relaxed_last_step = self.wins();
+                if self.relaxed_last_step {
+                    self.ghost_dr.iter_mut().for_each(|v| *v = 0.0);
+                    let flops = self.solver.relax(&mut self.ls, &mut self.ghost_dr);
+                    ctx.add_flops(flops);
+                    ctx.record_relaxations(self.ls.nrows() as u64);
+                    self.my_norm_sq = self.ls.residual_norm_sq();
+                    // Local refinement: fold this relaxation's contribution
+                    // into the ghost layer and the Γ estimates — no
+                    // communication needed (formula (3) of the paper).
+                    if self.cfg.refine_estimates {
+                        for s in 0..self.ls.nneighbors() {
+                            let mut est = self.gamma_sq[s];
+                            for &slot in &self.ls.ghosts_of[s] {
+                                let old = self.z[slot as usize];
+                                let new = old + self.ghost_dr[slot as usize];
+                                est += new * new - old * old;
+                                self.z[slot as usize] = new;
+                            }
+                            self.gamma_sq[s] = est.max(0.0);
+                        }
+                        ctx.add_flops(4 * self.ls.ext_cols.len() as u64);
+                    }
+                    for s in 0..self.ls.nneighbors() {
+                        // Accumulate this relaxation's contributions into
+                        // the pending buffer and measure the total.
+                        let mut acc_sq = 0.0;
+                        for &slot in &self.ls.ghosts_of[s] {
+                            let p = &mut self.pending_dr[slot as usize];
+                            *p += self.ghost_dr[slot as usize];
+                            acc_sq += *p * *p;
+                        }
+                        // Variable-threshold coalescing (§5 extension):
+                        // defer the message while the accumulated deltas
+                        // stay small relative to our residual norm.
+                        let thresh = self.cfg.solve_msg_threshold;
+                        if thresh > 0.0 && acc_sq < thresh * thresh * self.my_norm_sq {
+                            continue;
+                        }
+                        let dr: Vec<f64> = self.ls.ghosts_of[s]
+                            .iter()
+                            .map(|&slot| {
+                                let slot = slot as usize;
+                                let v = self.pending_dr[slot];
+                                self.pending_dr[slot] = 0.0;
+                                v
+                            })
+                            .collect();
+                        let msg = DistMsg::Solve {
+                            dr,
+                            boundary_r: self.ls.boundary_residuals(s),
+                            norm_sq: self.my_norm_sq,
+                            est_of_target_sq: self.gamma_sq[s],
+                        };
+                        let bytes = msg.wire_bytes();
+                        ctx.put(self.ls.neighbors[s], CommClass::Solve, msg, bytes);
+                        // Record the piggyback: q's estimate of us becomes
+                        // our freshly sent norm.
+                        self.tilde_sq[s] = self.my_norm_sq;
+                        self.sent_prev_phase[s] = true;
+                    }
+                }
+            }
+            1 => {
+                // Read solve updates from neighbors that relaxed.
+                for env in inbox {
+                    self.apply_msg(env.src, &env.payload);
+                }
+                self.sent_prev_phase.iter_mut().for_each(|f| *f = false);
+                self.my_norm_sq = self.ls.residual_norm_sq();
+                ctx.add_flops(2 * self.ls.nrows() as u64);
+                // Deadlock check: any neighbor overestimating us gets one
+                // explicit residual update.
+                if self.cfg.deadlock_avoidance {
+                    for s in 0..self.ls.nneighbors() {
+                        if self.my_norm_sq < self.tilde_sq[s] {
+                            let msg = DistMsg::Residual {
+                                boundary_r: self.ls.boundary_residuals(s),
+                                norm_sq: self.my_norm_sq,
+                                est_of_target_sq: self.gamma_sq[s],
+                            };
+                            let bytes = msg.wire_bytes();
+                            ctx.put(self.ls.neighbors[s], CommClass::Residual, msg, bytes);
+                            self.tilde_sq[s] = self.my_norm_sq;
+                            self.sent_prev_phase[s] = true;
+                        }
+                    }
+                }
+            }
+            _ => unreachable!("Distributed Southwell has two phases"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::layout::{distribute, gather_x};
+    use dsw_partition::partition_strip;
+    use dsw_rma::{CostModel, ExecMode, Executor};
+    use dsw_sparse::gen;
+
+    fn build_ds(
+        nx: usize,
+        ny: usize,
+        p: usize,
+        cfg: DsConfig,
+    ) -> (
+        dsw_sparse::CsrMatrix,
+        Vec<f64>,
+        Executor<DistributedSouthwellRank>,
+    ) {
+        build_ds_part(nx, ny, p, cfg, false)
+    }
+
+    fn build_ds_part(
+        nx: usize,
+        ny: usize,
+        p: usize,
+        cfg: DsConfig,
+        multilevel: bool,
+    ) -> (
+        dsw_sparse::CsrMatrix,
+        Vec<f64>,
+        Executor<DistributedSouthwellRank>,
+    ) {
+        let a = gen::grid2d_poisson(nx, ny);
+        let n = a.nrows();
+        let b = gen::random_rhs(n, 1);
+        let x0 = vec![0.0; n];
+        let part = if multilevel {
+            dsw_partition::partition_multilevel(
+                &dsw_partition::Graph::from_matrix(&a),
+                p,
+                dsw_partition::MultilevelOptions::default(),
+            )
+        } else {
+            partition_strip(n, p)
+        };
+        let locals = distribute(&a, &b, &x0, &part).unwrap();
+        let norms: Vec<f64> = locals.iter().map(|l| l.residual_norm_sq()).collect();
+        let r0 = a.residual(&b, &x0);
+        let ranks = DistributedSouthwellRank::build_with(locals, &norms, &r0, cfg);
+        let ex = Executor::new(ranks, CostModel::default(), ExecMode::Sequential);
+        (a, b, ex)
+    }
+
+    fn global_norm(
+        ex: &Executor<DistributedSouthwellRank>,
+        a: &dsw_sparse::CsrMatrix,
+        b: &[f64],
+    ) -> f64 {
+        let locals: Vec<_> = ex.ranks().iter().map(|r| r.ls.clone()).collect();
+        let x = gather_x(&locals, a.nrows());
+        dsw_sparse::vecops::norm2(&a.residual(b, &x))
+    }
+
+    #[test]
+    fn ds_converges_on_poisson() {
+        let (a, b, mut ex) = build_ds(12, 12, 6, DsConfig::default());
+        for _ in 0..2000 {
+            ex.step();
+            if global_norm(&ex, &a, &b) < 1e-8 {
+                return;
+            }
+        }
+        panic!("did not converge; residual {}", global_norm(&ex, &a, &b));
+    }
+
+    #[test]
+    fn gamma_tilde_is_exact() {
+        // The Γ̃ invariant: rank p's record of "q's estimate of ‖r_p‖"
+        // equals q's actual Γ entry for p — checked at every step boundary
+        // after which no messages are in flight. (Explicit updates are sent
+        // in phase 1 and land at the next step's phase 0, so on steps that
+        // sent them the records legitimately lead the receiver's state.)
+        let (_, _, mut ex) = build_ds_part(16, 16, 8, DsConfig::default(), true);
+        let mut checked = 0;
+        for step in 0..80 {
+            let s = ex.step();
+            if s.msgs_residual != 0 {
+                continue;
+            }
+            checked += 1;
+            for p in ex.ranks() {
+                for (slot, &q) in p.ls.neighbors.iter().enumerate() {
+                    let qrank = &ex.ranks()[q];
+                    let back = qrank.ls.neighbor_slot(p.ls.rank);
+                    let actual = qrank.gamma_sq[back];
+                    assert!(
+                        (p.tilde_sq[slot] - actual).abs() <= 1e-12 * actual.max(1.0),
+                        "step {step}: rank {} tilde[{q}]={} but q's gamma={}",
+                        p.ls.rank,
+                        p.tilde_sq[slot],
+                        actual
+                    );
+                }
+            }
+        }
+        assert!(checked > 0, "no quiescent steps to check");
+    }
+
+    #[test]
+    fn maintained_residuals_exact_at_step_boundaries() {
+        // After each full parallel step all solve deltas are applied, so the
+        // locally maintained r equals b - Ax globally.
+        let (a, b, mut ex) = build_ds(10, 10, 5, DsConfig::default());
+        for _ in 0..30 {
+            ex.step();
+            let locals: Vec<_> = ex.ranks().iter().map(|r| r.ls.clone()).collect();
+            let x = gather_x(&locals, a.nrows());
+            let r_true = a.residual(&b, &x);
+            let r_kept = crate::dist::layout::gather_r(&locals, a.nrows());
+            for (k, t) in r_kept.iter().zip(&r_true) {
+                assert!((k - t).abs() < 1e-10, "kept {k} vs true {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn ds_sends_fewer_messages_than_ps() {
+        // The headline of Table 2: DS needs far less communication than PS
+        // for the same accuracy.
+        let a = gen::grid2d_poisson(20, 20);
+        let n = a.nrows();
+        let b = gen::random_rhs(n, 1);
+        let x0 = vec![0.0; n];
+        let part = partition_strip(n, 10);
+        let r0 = a.residual(&b, &x0);
+        let locals = distribute(&a, &b, &x0, &part).unwrap();
+        let norms: Vec<f64> = locals.iter().map(|l| l.residual_norm_sq()).collect();
+
+        let target = 0.1 * dsw_sparse::vecops::norm2(&r0);
+        let mut ds_ex = Executor::new(
+            DistributedSouthwellRank::build(locals.clone(), &norms, &r0),
+            CostModel::default(),
+            ExecMode::Sequential,
+        );
+        let mut ds_msgs = None;
+        for _ in 0..500 {
+            ds_ex.step();
+            if global_norm(&ds_ex, &a, &b) <= target {
+                ds_msgs = Some(ds_ex.stats.total_msgs());
+                break;
+            }
+        }
+        let ps_ranks =
+            crate::dist::parallel_southwell::ParallelSouthwellRank::build(locals, &norms);
+        let mut ps_ex = Executor::new(ps_ranks, CostModel::default(), ExecMode::Sequential);
+        let mut ps_msgs = None;
+        for _ in 0..500 {
+            ps_ex.step();
+            let loc: Vec<_> = ps_ex.ranks().iter().map(|r| r.ls.clone()).collect();
+            let x = gather_x(&loc, n);
+            if dsw_sparse::vecops::norm2(&a.residual(&b, &x)) <= target {
+                ps_msgs = Some(ps_ex.stats.total_msgs());
+                break;
+            }
+        }
+        let (ds, ps) = (ds_msgs.expect("DS converged"), ps_msgs.expect("PS converged"));
+        assert!(ds < ps, "DS msgs {ds} should be below PS msgs {ps}");
+    }
+
+    #[test]
+    fn no_deadlock_avoidance_can_freeze() {
+        // Disable Alg. 3 lines 27-30 and reproduce the deadlock under the
+        // paper's setup (unit-diagonal scaling, b = 0, random scaled guess).
+        let mut a = gen::grid2d_poisson(16, 16);
+        a.scale_unit_diagonal().unwrap();
+        let n = a.nrows();
+        let b = vec![0.0; n];
+        let mut x0 = gen::random_guess(n, 11);
+        let s = 1.0 / dsw_sparse::vecops::norm2(&a.residual(&b, &x0));
+        x0.iter_mut().for_each(|v| *v *= s);
+        let part = dsw_partition::partition_multilevel(
+            &dsw_partition::Graph::from_matrix(&a),
+            8,
+            dsw_partition::MultilevelOptions::default(),
+        );
+        let locals = distribute(&a, &b, &x0, &part).unwrap();
+        let norms: Vec<f64> = locals.iter().map(|l| l.residual_norm_sq()).collect();
+        let r0 = a.residual(&b, &x0);
+        let cfg = DsConfig {
+            refine_estimates: true,
+            deadlock_avoidance: false,
+            ..DsConfig::default()
+        };
+        let ranks = DistributedSouthwellRank::build_with(locals, &norms, &r0, cfg);
+        let mut ex = Executor::new(ranks, CostModel::default(), ExecMode::Sequential);
+        let mut frozen = false;
+        for _ in 0..500 {
+            let s = ex.step();
+            if s.relaxations == 0 && s.msgs == 0 && global_norm(&ex, &a, &b) > 1e-6 {
+                frozen = true;
+                break;
+            }
+        }
+        assert!(
+            frozen,
+            "expected the no-avoidance variant to freeze before converging"
+        );
+    }
+
+    #[test]
+    fn ds_converges_on_strong_coupling() {
+        let mut a = gen::clique_grid2d(
+            12,
+            12,
+            gen::CliqueOptions {
+                coupling: 0.7,
+                weight_jump: 0.2,
+                seed: 1,
+                hot_fraction: 0.0,
+                hot_coupling: 0.0,
+            },
+        );
+        a.scale_unit_diagonal().unwrap();
+        let n = a.nrows();
+        let b = vec![0.0; n];
+        let x0 = gen::random_guess(n, 4);
+        let part = partition_strip(n, 8);
+        let locals = distribute(&a, &b, &x0, &part).unwrap();
+        let norms: Vec<f64> = locals.iter().map(|l| l.residual_norm_sq()).collect();
+        let r0 = a.residual(&b, &x0);
+        let mut ex = Executor::new(
+            DistributedSouthwellRank::build(locals, &norms, &r0),
+            CostModel::default(),
+            ExecMode::Sequential,
+        );
+        let start = global_norm(&ex, &a, &b);
+        for _ in 0..3000 {
+            ex.step();
+            if global_norm(&ex, &a, &b) < 0.01 * start {
+                return;
+            }
+        }
+        panic!(
+            "no convergence on strong coupling; residual {}",
+            global_norm(&ex, &a, &b) / start
+        );
+    }
+}

@@ -1,0 +1,433 @@
+//! Run loop for the distributed solvers: steps the executor, tracks the
+//! true global residual out-of-band (the measurement hook, as in the
+//! paper's harness), and detects convergence, divergence, and deadlock.
+
+use super::block_jacobi::BlockJacobiRank;
+use super::distributed_southwell::{DistributedSouthwellRank, DsConfig};
+use super::layout::{distribute, LocalSystem};
+use super::msg::DistMsg;
+use super::parallel_southwell::ParallelSouthwellRank;
+use crate::history::interpolate_crossing;
+use dsw_partition::Partition;
+use dsw_rma::{CostModel, ExecMode, Executor, RankAlgorithm, RunStats};
+use dsw_sparse::{vecops, CsrMatrix};
+
+/// Which distributed method to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Algorithm 1.
+    BlockJacobi,
+    /// Algorithm 2 (with explicit residual updates).
+    ParallelSouthwell,
+    /// Algorithm 2 without explicit updates — the deadlock-prone ICCS'16
+    /// scheme, kept as a foil.
+    ParallelSouthwellPiggybackOnly,
+    /// Algorithm 3 — the paper's contribution.
+    DistributedSouthwell,
+}
+
+impl Method {
+    /// Short display name matching the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Method::BlockJacobi => "BJ",
+            Method::ParallelSouthwell => "PS",
+            Method::ParallelSouthwellPiggybackOnly => "PS-iccs16",
+            Method::DistributedSouthwell => "DS",
+        }
+    }
+}
+
+/// Options for a distributed run.
+#[derive(Debug, Clone, Copy)]
+pub struct DistOptions {
+    /// Maximum parallel steps (the paper uses 50).
+    pub max_steps: usize,
+    /// Stop once the global residual norm reaches this value.
+    pub target_residual: Option<f64>,
+    /// The α–β–γ time model.
+    pub cost_model: CostModel,
+    /// Sequential or threaded rank execution (identical results).
+    pub exec_mode: ExecMode,
+    /// Configuration for Distributed Southwell (ablations). Its
+    /// `local_solver` field is also honored by Block Jacobi and Parallel
+    /// Southwell.
+    pub ds_config: DsConfig,
+    /// Stop once the residual exceeds this multiple of the initial norm
+    /// (`None` runs through divergence, as the paper's 50-step sweeps do).
+    pub divergence_cutoff: Option<f64>,
+}
+
+impl Default for DistOptions {
+    fn default() -> Self {
+        DistOptions {
+            max_steps: 50,
+            target_residual: Some(0.1),
+            cost_model: CostModel::default(),
+            exec_mode: ExecMode::Sequential,
+            ds_config: DsConfig::default(),
+            divergence_cutoff: Some(1e12),
+        }
+    }
+}
+
+/// One row of the per-step record (all counters cumulative).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepRecord {
+    /// Parallel step index (0 = initial state).
+    pub step: usize,
+    /// True global residual norm ‖b − Ax‖₂ at this boundary.
+    pub residual_norm: f64,
+    /// Cumulative row relaxations.
+    pub relaxations: u64,
+    /// Cumulative messages (all classes).
+    pub msgs: u64,
+    /// Cumulative solve-class messages.
+    pub msgs_solve: u64,
+    /// Cumulative explicit-residual messages.
+    pub msgs_residual: u64,
+    /// Cumulative modelled wall-clock seconds.
+    pub time: f64,
+    /// Ranks that relaxed in this step.
+    pub active_ranks: u64,
+}
+
+/// The full report of one distributed run.
+#[derive(Debug, Clone)]
+pub struct DistReport {
+    /// Which method ran.
+    pub method: Method,
+    /// Problem size (rows).
+    pub n: usize,
+    /// Number of ranks.
+    pub nranks: usize,
+    /// Per-step records, starting with the initial state at step 0.
+    pub records: Vec<StepRecord>,
+    /// Raw substrate statistics.
+    pub stats: RunStats,
+    /// Step at which the target was first met.
+    pub converged_at: Option<usize>,
+    /// The run froze: a step moved no data and relaxed nothing, so no
+    /// future step can act (deadlock).
+    pub deadlocked: bool,
+    /// The residual exceeded 10¹² × initial (divergence cut-off).
+    pub diverged: bool,
+    /// Final gathered solution.
+    pub x: Vec<f64>,
+}
+
+impl DistReport {
+    /// Final residual norm.
+    pub fn final_residual(&self) -> f64 {
+        self.records.last().unwrap().residual_norm
+    }
+
+    /// The paper's communication cost: total messages / ranks.
+    pub fn comm_cost(&self) -> f64 {
+        self.records.last().unwrap().msgs as f64 / self.nranks as f64
+    }
+
+    /// Mean fraction of active ranks per executed step.
+    pub fn active_fraction(&self) -> f64 {
+        let steps = self.records.len() - 1;
+        if steps == 0 {
+            return 0.0;
+        }
+        self.records[1..]
+            .iter()
+            .map(|r| r.active_ranks as f64)
+            .sum::<f64>()
+            / (steps as f64 * self.nranks as f64)
+    }
+
+    fn crossing(&self, target: f64, f: impl Fn(&StepRecord) -> f64) -> Option<f64> {
+        interpolate_crossing(
+            self.records.iter().map(|rec| (f(rec), rec.residual_norm)),
+            target,
+        )
+    }
+
+    /// Parallel steps to reach `target` (log-interpolated, Table 2 rule).
+    pub fn steps_to_reach(&self, target: f64) -> Option<f64> {
+        self.crossing(target, |r| r.step as f64)
+    }
+
+    /// Modelled wall-clock seconds to reach `target`.
+    pub fn time_to_reach(&self, target: f64) -> Option<f64> {
+        self.crossing(target, |r| r.time)
+    }
+
+    /// Communication cost (msgs/rank) expended to reach `target`.
+    pub fn comm_to_reach(&self, target: f64) -> Option<f64> {
+        self.crossing(target, |r| r.msgs as f64 / self.nranks as f64)
+    }
+
+    /// Relaxations per unknown expended to reach `target`.
+    pub fn relaxations_to_reach(&self, target: f64) -> Option<f64> {
+        self.crossing(target, |r| r.relaxations as f64 / self.n as f64)
+    }
+}
+
+/// Distributes `(a, b, x0)` over `partition` and runs `method`.
+///
+/// The global residual is evaluated out-of-band after every parallel step —
+/// the same measurement the paper's harness performs — and is *not*
+/// counted as solver communication.
+pub fn run_method(
+    method: Method,
+    a: &CsrMatrix,
+    b: &[f64],
+    x0: &[f64],
+    partition: &Partition,
+    opts: &DistOptions,
+) -> DistReport {
+    let locals = distribute(a, b, x0, partition).expect("valid distribution");
+    let norms: Vec<f64> = locals.iter().map(|l| l.residual_norm_sq()).collect();
+    match method {
+        Method::BlockJacobi => {
+            let ranks =
+                BlockJacobiRank::build_with_solver(locals, opts.ds_config.local_solver);
+            drive(method, ranks, |r| &r.ls, a, b, opts)
+        }
+        Method::ParallelSouthwell => {
+            let ranks =
+                ParallelSouthwellRank::build_cfg(locals, &norms, true, opts.ds_config.local_solver);
+            drive(method, ranks, |r| &r.ls, a, b, opts)
+        }
+        Method::ParallelSouthwellPiggybackOnly => {
+            let ranks = ParallelSouthwellRank::build_cfg(
+                locals,
+                &norms,
+                false,
+                opts.ds_config.local_solver,
+            );
+            drive(method, ranks, |r| &r.ls, a, b, opts)
+        }
+        Method::DistributedSouthwell => {
+            let r0 = a.residual(b, x0);
+            let ranks = DistributedSouthwellRank::build_with(locals, &norms, &r0, opts.ds_config);
+            drive(method, ranks, |r| &r.ls, a, b, opts)
+        }
+    }
+}
+
+/// The generic run loop over any solver rank type.
+pub fn drive<R>(
+    method: Method,
+    ranks: Vec<R>,
+    local_of: impl Fn(&R) -> &LocalSystem,
+    a: &CsrMatrix,
+    b: &[f64],
+    opts: &DistOptions,
+) -> DistReport
+where
+    R: RankAlgorithm<Msg = DistMsg>,
+{
+    let n = a.nrows();
+    let nranks = ranks.len();
+    let mut ex = Executor::new(ranks, opts.cost_model, opts.exec_mode);
+
+    let gather = |ex: &Executor<R>| -> Vec<f64> {
+        let mut x = vec![0.0; n];
+        for r in ex.ranks() {
+            let ls = local_of(r);
+            for (li, &g) in ls.rows.iter().enumerate() {
+                x[g] = ls.x[li];
+            }
+        }
+        x
+    };
+    let residual_norm =
+        |ex: &Executor<R>| -> f64 { vecops::norm2(&a.residual(b, &gather(ex))) };
+
+    let initial = residual_norm(&ex);
+    let mut records = vec![StepRecord {
+        step: 0,
+        residual_norm: initial,
+        relaxations: 0,
+        msgs: 0,
+        msgs_solve: 0,
+        msgs_residual: 0,
+        time: 0.0,
+        active_ranks: 0,
+    }];
+    let mut converged_at = None;
+    let mut deadlocked = false;
+    let mut diverged = false;
+
+    for step in 1..=opts.max_steps {
+        let s = ex.step();
+        let prev = *records.last().unwrap();
+        let norm = residual_norm(&ex);
+        records.push(StepRecord {
+            step,
+            residual_norm: norm,
+            relaxations: prev.relaxations + s.relaxations,
+            msgs: prev.msgs + s.msgs,
+            msgs_solve: prev.msgs_solve + s.msgs_solve,
+            msgs_residual: prev.msgs_residual + s.msgs_residual,
+            time: prev.time + s.time,
+            active_ranks: s.active_ranks,
+        });
+        if converged_at.is_none() {
+            if let Some(t) = opts.target_residual {
+                if norm <= t {
+                    converged_at = Some(step);
+                    break;
+                }
+            }
+        }
+        if s.relaxations == 0 && s.msgs == 0 {
+            // Nothing moved and nothing is in flight: the state is frozen.
+            deadlocked = norm > opts.target_residual.unwrap_or(0.0).max(1e-300);
+            break;
+        }
+        if !norm.is_finite() {
+            diverged = true;
+            break;
+        }
+        if let Some(cut) = opts.divergence_cutoff {
+            if norm > cut * initial.max(1e-300) {
+                diverged = true;
+                break;
+            }
+        }
+    }
+
+    let x = gather(&ex);
+    DistReport {
+        method,
+        n,
+        nranks,
+        records,
+        stats: ex.stats,
+        converged_at,
+        deadlocked,
+        diverged,
+        x,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsw_partition::{partition_multilevel, Graph, MultilevelOptions};
+    use dsw_sparse::gen;
+
+    fn poisson_setup(
+        nx: usize,
+        ny: usize,
+        p: usize,
+    ) -> (CsrMatrix, Vec<f64>, Vec<f64>, Partition) {
+        let mut a = gen::grid2d_poisson(nx, ny);
+        a.scale_unit_diagonal().unwrap();
+        let n = a.nrows();
+        let b = vec![0.0; n];
+        // Random guess scaled so the initial residual has unit norm (§4.2).
+        let mut x0 = gen::random_guess(n, 11);
+        let r0 = a.residual(&b, &x0);
+        let scale = 1.0 / dsw_sparse::vecops::norm2(&r0);
+        for v in x0.iter_mut() {
+            *v *= scale;
+        }
+        let g = Graph::from_matrix(&a);
+        let part = partition_multilevel(&g, p, MultilevelOptions::default());
+        (a, b, x0, part)
+    }
+
+    #[test]
+    fn initial_residual_is_unit() {
+        let (a, b, x0, _) = poisson_setup(16, 16, 4);
+        let r0 = a.residual(&b, &x0);
+        assert!((dsw_sparse::vecops::norm2(&r0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_methods_reach_point_one_on_poisson() {
+        let (a, b, x0, part) = poisson_setup(16, 16, 4);
+        let opts = DistOptions {
+            max_steps: 50,
+            ..DistOptions::default()
+        };
+        for m in [
+            Method::BlockJacobi,
+            Method::ParallelSouthwell,
+            Method::DistributedSouthwell,
+        ] {
+            let rep = run_method(m, &a, &b, &x0, &part, &opts);
+            assert!(
+                rep.converged_at.is_some(),
+                "{} failed: final {}",
+                m.label(),
+                rep.final_residual()
+            );
+            assert!(!rep.deadlocked && !rep.diverged);
+        }
+    }
+
+    #[test]
+    fn ds_beats_ps_on_communication() {
+        let (a, b, x0, part) = poisson_setup(24, 24, 8);
+        let opts = DistOptions {
+            max_steps: 200,
+            ..DistOptions::default()
+        };
+        let ds = run_method(Method::DistributedSouthwell, &a, &b, &x0, &part, &opts);
+        let ps = run_method(Method::ParallelSouthwell, &a, &b, &x0, &part, &opts);
+        let dsc = ds.comm_to_reach(0.1).expect("DS converged");
+        let psc = ps.comm_to_reach(0.1).expect("PS converged");
+        assert!(dsc < psc, "DS comm {dsc} !< PS comm {psc}");
+    }
+
+    #[test]
+    fn piggyback_only_deadlocks_and_is_reported() {
+        let (a, b, x0, part) = poisson_setup(16, 16, 8);
+        let opts = DistOptions {
+            max_steps: 300,
+            target_residual: Some(1e-6),
+            ..DistOptions::default()
+        };
+        let rep = run_method(
+            Method::ParallelSouthwellPiggybackOnly,
+            &a,
+            &b,
+            &x0,
+            &part,
+            &opts,
+        );
+        assert!(rep.deadlocked, "expected deadlock report");
+        assert!(rep.converged_at.is_none());
+    }
+
+    #[test]
+    fn report_metrics_are_consistent() {
+        let (a, b, x0, part) = poisson_setup(12, 12, 4);
+        let opts = DistOptions::default();
+        let rep = run_method(Method::DistributedSouthwell, &a, &b, &x0, &part, &opts);
+        let last = rep.records.last().unwrap();
+        assert_eq!(last.msgs, last.msgs_solve + last.msgs_residual);
+        assert_eq!(rep.stats.total_msgs(), last.msgs);
+        assert!((rep.stats.total_time() - last.time).abs() < 1e-12);
+        assert!(rep.active_fraction() > 0.0 && rep.active_fraction() <= 1.0);
+        // Crossing metrics are monotone sensible.
+        let s = rep.steps_to_reach(0.1).unwrap();
+        assert!(s > 0.0 && s <= rep.records.len() as f64);
+    }
+
+    #[test]
+    fn threaded_matches_sequential() {
+        let (a, b, x0, part) = poisson_setup(16, 16, 6);
+        let mut o1 = DistOptions::default();
+        o1.max_steps = 20;
+        o1.target_residual = None;
+        let mut o2 = o1;
+        o2.exec_mode = ExecMode::Threaded(3);
+        let r1 = run_method(Method::DistributedSouthwell, &a, &b, &x0, &part, &o1);
+        let r2 = run_method(Method::DistributedSouthwell, &a, &b, &x0, &part, &o2);
+        assert_eq!(r1.x, r2.x, "threaded and sequential must be bit-identical");
+        assert_eq!(
+            r1.records.last().unwrap().msgs,
+            r2.records.last().unwrap().msgs
+        );
+    }
+}

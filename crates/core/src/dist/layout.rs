@@ -1,0 +1,417 @@
+//! Distribution of a sparse system over simulated ranks.
+//!
+//! Mirrors the paper's setup (§2.4): rows are partitioned into
+//! non-overlapping subdomains, one per process; each process stores its
+//! block rows, the right-hand side and solution pieces, and enough matrix
+//! data to compute — *locally, without communication* — the contribution of
+//! its own relaxations to the residuals of neighboring processes (possible
+//! because the matrix is symmetric: the process owning row `i` effectively
+//! owns column `i` too).
+//!
+//! Index conventions inside one [`LocalSystem`]:
+//! * *local row* `0..m` — the process's own rows, sorted by global id;
+//! * *ghost slot* `0..g` — off-process columns touched by local rows,
+//!   sorted by global id;
+//! * *neighbor slot* — index into the sorted neighbor-rank list.
+//!
+//! Message payloads use **agreed orderings** instead of indices: the ghost
+//! slots of rank `q` owned by rank `p` (in global order) are exactly the
+//! boundary rows of `p` adjacent to `q` (in global order), so both sides
+//! address a plain `Vec<f64>` the same way.
+
+use dsw_partition::Partition;
+use dsw_sparse::{CsrMatrix, SparseError};
+use std::collections::HashMap;
+
+/// The per-rank piece of a distributed system.
+#[derive(Debug, Clone)]
+pub struct LocalSystem {
+    /// This rank's id.
+    pub rank: usize,
+    /// Owned global rows, sorted.
+    pub rows: Vec<usize>,
+    /// Local block `A(rows, rows)` in local indices (symmetric).
+    pub a_int: CsrMatrix,
+    /// Off-process part of the owned rows in CSR-like form:
+    /// `a_ext_ptr[i]..a_ext_ptr[i+1]` indexes the ghost entries of local
+    /// row `i` in `a_ext_idx` (ghost slots) and `a_ext_val`.
+    pub a_ext_ptr: Vec<usize>,
+    /// Ghost-slot index per external entry.
+    pub a_ext_idx: Vec<u32>,
+    /// Matrix value per external entry.
+    pub a_ext_val: Vec<f64>,
+    /// Global column id of each ghost slot, sorted.
+    pub ext_cols: Vec<usize>,
+    /// Neighbor ranks (sorted). A neighbor is any rank owning a ghost column.
+    pub neighbors: Vec<usize>,
+    /// Per neighbor slot: the ghost slots owned by that neighbor
+    /// (in increasing global order).
+    pub ghosts_of: Vec<Vec<u32>>,
+    /// Per neighbor slot: local rows adjacent to that neighbor
+    /// (in increasing global order — the agreed message ordering).
+    pub boundary_rows_to: Vec<Vec<u32>>,
+    /// Local right-hand side.
+    pub b: Vec<f64>,
+    /// Local solution piece.
+    pub x: Vec<f64>,
+    /// Local residual piece (kept exact at parallel-step boundaries).
+    pub r: Vec<f64>,
+}
+
+impl LocalSystem {
+    /// Number of owned rows.
+    pub fn nrows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of neighbors.
+    pub fn nneighbors(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Neighbor slot of rank `q`.
+    pub fn neighbor_slot(&self, q: usize) -> usize {
+        self.neighbors
+            .binary_search(&q)
+            .expect("message from a non-neighbor rank")
+    }
+
+    /// Squared 2-norm of the local residual.
+    pub fn residual_norm_sq(&self) -> f64 {
+        self.r.iter().map(|v| v * v).sum()
+    }
+
+    /// One Gauss–Seidel sweep over the owned rows (the paper's local
+    /// solver). Updates `x` and `r` in place and *accumulates* into
+    /// `ghost_dr` — aligned with `ext_cols` — the additive residual deltas
+    /// this sweep induces on off-process rows. Returns the flop count.
+    ///
+    /// `ghost_dr` must be zeroed by the caller before the first sweep.
+    pub fn gs_sweep(&mut self, ghost_dr: &mut [f64]) -> u64 {
+        debug_assert_eq!(ghost_dr.len(), self.ext_cols.len());
+        let m = self.nrows();
+        let mut flops = 0u64;
+        for i in 0..m {
+            let aii = self.a_int.get(i, i);
+            debug_assert!(aii != 0.0, "zero diagonal in local block");
+            let delta = self.r[i] / aii;
+            self.x[i] += delta;
+            // In-block residual updates through the symmetric local row.
+            for (j, aij) in self.a_int.row(i) {
+                self.r[j] -= aij * delta;
+            }
+            // Off-block contributions: a_{ji} = a_{ij}.
+            for k in self.a_ext_ptr[i]..self.a_ext_ptr[i + 1] {
+                ghost_dr[self.a_ext_idx[k] as usize] -= self.a_ext_val[k] * delta;
+            }
+            flops += 2 * (self.a_int.row_cols(i).len() as u64
+                + (self.a_ext_ptr[i + 1] - self.a_ext_ptr[i]) as u64)
+                + 1;
+        }
+        flops
+    }
+
+    /// A Gauss–Seidel sweep visiting the owned rows in `order` (each local
+    /// row exactly once) — the Multicolor local-solver path. Semantics
+    /// otherwise identical to [`LocalSystem::gs_sweep`].
+    pub fn gs_sweep_ordered(&mut self, order: &[u32], ghost_dr: &mut [f64]) -> u64 {
+        debug_assert_eq!(order.len(), self.nrows());
+        let mut flops = 0u64;
+        for &iu in order {
+            let i = iu as usize;
+            let aii = self.a_int.get(i, i);
+            debug_assert!(aii != 0.0, "zero diagonal in local block");
+            let delta = self.r[i] / aii;
+            self.x[i] += delta;
+            for (j, aij) in self.a_int.row(i) {
+                self.r[j] -= aij * delta;
+            }
+            for k in self.a_ext_ptr[i]..self.a_ext_ptr[i + 1] {
+                ghost_dr[self.a_ext_idx[k] as usize] -= self.a_ext_val[k] * delta;
+            }
+            flops += 2 * (self.a_int.row_cols(i).len() as u64
+                + (self.a_ext_ptr[i + 1] - self.a_ext_ptr[i]) as u64)
+                + 1;
+        }
+        flops
+    }
+
+    /// The residual values at the boundary rows facing neighbor slot `s`,
+    /// in the agreed ordering.
+    pub fn boundary_residuals(&self, s: usize) -> Vec<f64> {
+        self.boundary_rows_to[s]
+            .iter()
+            .map(|&i| self.r[i as usize])
+            .collect()
+    }
+}
+
+/// Splits `(A, b, x0)` over the parts of `partition`.
+///
+/// The matrix must be square and structurally symmetric (the solvers rely
+/// on `a_{ji} = a_{ij}`). The initial residual `r = b − A x0` is computed
+/// globally and scattered — the setup phase of the paper's artifact, not
+/// counted as solver communication.
+pub fn distribute(
+    a: &CsrMatrix,
+    b: &[f64],
+    x0: &[f64],
+    partition: &Partition,
+) -> Result<Vec<LocalSystem>, SparseError> {
+    let n = a.nrows();
+    if a.ncols() != n {
+        return Err(SparseError::Shape("distribute: matrix must be square".into()));
+    }
+    if b.len() != n || x0.len() != n {
+        return Err(SparseError::Shape("distribute: vector length mismatch".into()));
+    }
+    if partition.assignment().len() != n {
+        return Err(SparseError::Shape(
+            "distribute: partition length mismatch".into(),
+        ));
+    }
+    let nparts = partition.nparts();
+    let r_global = a.residual(b, x0);
+    let owner = partition.assignment();
+    let part_rows = partition.part_rows();
+
+    let mut out = Vec::with_capacity(nparts);
+    for (p, rows) in part_rows.iter().enumerate() {
+        if rows.is_empty() {
+            return Err(SparseError::Shape(format!(
+                "distribute: part {p} owns no rows"
+            )));
+        }
+        // Local index of each owned global row.
+        let local_of: HashMap<usize, usize> =
+            rows.iter().enumerate().map(|(l, &g)| (g, l)).collect();
+
+        // Ghost columns: off-process columns of owned rows, sorted global.
+        let mut ext_cols: Vec<usize> = Vec::new();
+        for &g in rows {
+            for (c, _) in a.row(g) {
+                if owner[c] != p {
+                    ext_cols.push(c);
+                }
+            }
+        }
+        ext_cols.sort_unstable();
+        ext_cols.dedup();
+        let ghost_of_global: HashMap<usize, u32> = ext_cols
+            .iter()
+            .enumerate()
+            .map(|(s, &g)| (g, s as u32))
+            .collect();
+
+        // Neighbors and per-neighbor ghost slots.
+        let mut neighbors: Vec<usize> = ext_cols.iter().map(|&c| owner[c]).collect();
+        neighbors.sort_unstable();
+        neighbors.dedup();
+        let neighbor_slot: HashMap<usize, usize> = neighbors
+            .iter()
+            .enumerate()
+            .map(|(s, &q)| (q, s))
+            .collect();
+        let mut ghosts_of = vec![Vec::new(); neighbors.len()];
+        for (slot, &c) in ext_cols.iter().enumerate() {
+            ghosts_of[neighbor_slot[&owner[c]]].push(slot as u32);
+        }
+
+        // Local interior block and external entries.
+        let mut bld = dsw_sparse::CooBuilder::new(rows.len(), rows.len());
+        let mut a_ext_ptr = Vec::with_capacity(rows.len() + 1);
+        let mut a_ext_idx: Vec<u32> = Vec::new();
+        let mut a_ext_val: Vec<f64> = Vec::new();
+        a_ext_ptr.push(0);
+        // Boundary rows per neighbor: local rows with any entry owned by q.
+        let mut boundary_sets: Vec<Vec<u32>> = vec![Vec::new(); neighbors.len()];
+        for (li, &g) in rows.iter().enumerate() {
+            let mut touched: Vec<usize> = Vec::new();
+            for (c, v) in a.row(g) {
+                match local_of.get(&c) {
+                    Some(&lc) => bld.push(li, lc, v),
+                    None => {
+                        a_ext_idx.push(ghost_of_global[&c]);
+                        a_ext_val.push(v);
+                        let q = neighbor_slot[&owner[c]];
+                        if !touched.contains(&q) {
+                            touched.push(q);
+                        }
+                    }
+                }
+            }
+            a_ext_ptr.push(a_ext_idx.len());
+            for q in touched {
+                boundary_sets[q].push(li as u32);
+            }
+        }
+        // `rows` is sorted, so local order == global order: the boundary
+        // lists are already in the agreed (global) ordering.
+        let a_int = bld.build()?;
+
+        out.push(LocalSystem {
+            rank: p,
+            rows: rows.clone(),
+            a_int,
+            a_ext_ptr,
+            a_ext_idx,
+            a_ext_val,
+            ext_cols,
+            neighbors,
+            ghosts_of,
+            boundary_rows_to: boundary_sets,
+            b: rows.iter().map(|&g| b[g]).collect(),
+            x: rows.iter().map(|&g| x0[g]).collect(),
+            r: rows.iter().map(|&g| r_global[g]).collect(),
+        });
+    }
+    Ok(out)
+}
+
+/// Gathers the global solution from local pieces (measurement hook).
+pub fn gather_x(locals: &[LocalSystem], n: usize) -> Vec<f64> {
+    let mut x = vec![0.0; n];
+    for ls in locals {
+        for (li, &g) in ls.rows.iter().enumerate() {
+            x[g] = ls.x[li];
+        }
+    }
+    x
+}
+
+/// Gathers the global residual from the locally maintained pieces.
+pub fn gather_r(locals: &[LocalSystem], n: usize) -> Vec<f64> {
+    let mut r = vec![0.0; n];
+    for ls in locals {
+        for (li, &g) in ls.rows.iter().enumerate() {
+            r[g] = ls.r[li];
+        }
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsw_partition::partition_strip;
+    use dsw_sparse::gen;
+
+    fn setup(nx: usize, ny: usize, p: usize) -> (CsrMatrix, Vec<f64>, Vec<f64>, Vec<LocalSystem>) {
+        let a = gen::grid2d_poisson(nx, ny);
+        let n = a.nrows();
+        let b = gen::random_rhs(n, 5);
+        let x0 = gen::random_guess(n, 6);
+        let part = partition_strip(n, p);
+        let locals = distribute(&a, &b, &x0, &part).unwrap();
+        (a, b, x0, locals)
+    }
+
+    #[test]
+    fn distribute_covers_all_rows() {
+        let (a, _, _, locals) = setup(6, 6, 4);
+        let total: usize = locals.iter().map(|l| l.nrows()).sum();
+        assert_eq!(total, a.nrows());
+        let mut all: Vec<usize> = locals.iter().flat_map(|l| l.rows.clone()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..36).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn initial_residual_is_exact() {
+        let (a, b, x0, locals) = setup(6, 6, 4);
+        let r_true = a.residual(&b, &x0);
+        let r = gather_r(&locals, a.nrows());
+        for (m, t) in r.iter().zip(&r_true) {
+            assert!((m - t).abs() < 1e-14);
+        }
+        let x = gather_x(&locals, a.nrows());
+        assert_eq!(x, x0);
+    }
+
+    #[test]
+    fn agreed_orderings_match_across_ranks() {
+        let (_, _, _, locals) = setup(8, 5, 3);
+        for ls in &locals {
+            for (s, &q) in ls.neighbors.iter().enumerate() {
+                let other = &locals[q];
+                let back = other.neighbor_slot(ls.rank);
+                // My ghost slots owned by q map to exactly q's boundary rows
+                // facing me, in the same (global) order.
+                let my_ghost_globals: Vec<usize> = ls.ghosts_of[s]
+                    .iter()
+                    .map(|&slot| ls.ext_cols[slot as usize])
+                    .collect();
+                let their_boundary_globals: Vec<usize> = other.boundary_rows_to[back]
+                    .iter()
+                    .map(|&li| other.rows[li as usize])
+                    .collect();
+                assert_eq!(my_ghost_globals, their_boundary_globals);
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_relation_is_symmetric() {
+        let (_, _, _, locals) = setup(7, 7, 5);
+        for ls in &locals {
+            for &q in &ls.neighbors {
+                assert!(
+                    locals[q].neighbors.contains(&ls.rank),
+                    "asymmetric neighbor relation {} -> {}",
+                    ls.rank,
+                    q
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gs_sweep_matches_global_semantics() {
+        // One sweep on every rank (sequentially, applying ghost updates
+        // afterwards) must equal block Gauss-Seidel: verify the maintained
+        // residuals equal b - A x after cross-rank deltas are exchanged.
+        let (a, b, _, mut locals) = setup(6, 6, 3);
+        let n = a.nrows();
+        // Every rank sweeps against the same initial state.
+        let mut all_ghost_dr: Vec<Vec<f64>> = Vec::new();
+        for ls in locals.iter_mut() {
+            let mut gdr = vec![0.0; ls.ext_cols.len()];
+            ls.gs_sweep(&mut gdr);
+            all_ghost_dr.push(gdr);
+        }
+        // Deliver ghost deltas.
+        let owners: Vec<usize> = (0..locals.len()).collect();
+        for &p in &owners {
+            let (ext_cols, gdr) = (locals[p].ext_cols.clone(), all_ghost_dr[p].clone());
+            for (slot, &gcol) in ext_cols.iter().enumerate() {
+                let q = locals.iter().position(|l| l.rows.contains(&gcol)).unwrap();
+                let li = locals[q].rows.binary_search(&gcol).unwrap();
+                locals[q].r[li] += gdr[slot];
+            }
+        }
+        let x = gather_x(&locals, n);
+        let r_true = a.residual(&b, &x);
+        let r = gather_r(&locals, n);
+        for (m, t) in r.iter().zip(&r_true) {
+            assert!((m - t).abs() < 1e-12, "residual mismatch {m} vs {t}");
+        }
+    }
+
+    #[test]
+    fn single_part_has_no_neighbors() {
+        let (a, _, _, locals) = setup(4, 4, 1);
+        assert_eq!(locals.len(), 1);
+        assert!(locals[0].neighbors.is_empty());
+        assert!(locals[0].ext_cols.is_empty());
+        assert_eq!(locals[0].a_int.nnz(), a.nnz());
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let a = gen::grid2d_poisson(3, 3);
+        let part = partition_strip(9, 2);
+        assert!(distribute(&a, &[0.0; 5], &[0.0; 9], &part).is_err());
+        let part_bad = partition_strip(5, 2);
+        assert!(distribute(&a, &[0.0; 9], &[0.0; 9], &part_bad).is_err());
+    }
+}

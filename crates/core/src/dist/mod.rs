@@ -1,0 +1,28 @@
+//! Block (subdomain) solvers on the simulated one-sided RMA substrate —
+//! Algorithms 1–3 of the paper.
+//!
+//! * [`layout`] — partitioning a system over ranks, ghost maps, the local
+//!   Gauss–Seidel sweep,
+//! * [`block_jacobi`] — Algorithm 1,
+//! * [`parallel_southwell`] — Algorithm 2 (and the deadlock-prone ICCS'16
+//!   piggyback-only variant),
+//! * [`distributed_southwell`] — Algorithm 3, the paper's contribution,
+//! * [`driver`] — the run loop with out-of-band residual measurement,
+//!   convergence / divergence / deadlock detection, and the per-step
+//!   records every table and figure of the evaluation is built from.
+
+pub mod block_jacobi;
+pub mod distributed_southwell;
+pub mod driver;
+pub mod layout;
+pub mod local_solver;
+pub mod msg;
+pub mod parallel_southwell;
+
+pub use block_jacobi::BlockJacobiRank;
+pub use distributed_southwell::{DistributedSouthwellRank, DsConfig};
+pub use driver::{drive, run_method, DistOptions, DistReport, Method, StepRecord};
+pub use layout::{distribute, gather_r, gather_x, LocalSystem};
+pub use local_solver::{LocalSolver, LocalSolverImpl};
+pub use msg::DistMsg;
+pub use parallel_southwell::ParallelSouthwellRank;

@@ -1,0 +1,69 @@
+//! Message payloads exchanged by the distributed solvers.
+
+/// What one rank puts into a neighbor's memory window.
+///
+/// Vectors use the *agreed ordering* of [`super::layout`]: the receiver's
+/// boundary rows facing the sender (for `dr`) and the receiver's ghost
+/// slots owned by the sender (for `boundary_r`) — both in increasing global
+/// order, so no index arrays travel on the wire.
+#[derive(Debug, Clone)]
+pub enum DistMsg {
+    /// Sent by a rank that relaxed its subdomain (Alg. 1 l.8, Alg. 2 l.10,
+    /// Alg. 3 l.17).
+    Solve {
+        /// Additive residual deltas for the receiver's boundary rows.
+        dr: Vec<f64>,
+        /// The sender's boundary residuals facing the receiver — the ghost
+        /// layer (`z`) overwrite. Empty for methods without ghost layers.
+        boundary_r: Vec<f64>,
+        /// Piggybacked ‖r_sender‖² (costs bytes, not an extra message).
+        norm_sq: f64,
+        /// The sender's current estimate of ‖r_receiver‖² (Distributed
+        /// Southwell's `Γ` piggyback; 0 where unused).
+        est_of_target_sq: f64,
+    },
+    /// An explicit residual update ("Res comm" in Table 3): Parallel
+    /// Southwell's changed-norm broadcast (Alg. 2 l.20) or Distributed
+    /// Southwell's deadlock-avoidance message (Alg. 3 l.29).
+    Residual {
+        /// The sender's boundary residuals facing the receiver
+        /// (empty for Parallel Southwell, which keeps no ghost layer).
+        boundary_r: Vec<f64>,
+        /// ‖r_sender‖².
+        norm_sq: f64,
+        /// The sender's estimate of ‖r_receiver‖².
+        est_of_target_sq: f64,
+    },
+}
+
+impl DistMsg {
+    /// Modelled wire size in bytes.
+    pub fn wire_bytes(&self) -> u64 {
+        match self {
+            DistMsg::Solve { dr, boundary_r, .. } => 8 * (dr.len() + boundary_r.len()) as u64 + 16,
+            DistMsg::Residual { boundary_r, .. } => 8 * boundary_r.len() as u64 + 16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_bytes_counts_payload() {
+        let m = DistMsg::Solve {
+            dr: vec![1.0; 3],
+            boundary_r: vec![2.0; 2],
+            norm_sq: 1.0,
+            est_of_target_sq: 0.5,
+        };
+        assert_eq!(m.wire_bytes(), 8 * 5 + 16);
+        let r = DistMsg::Residual {
+            boundary_r: vec![],
+            norm_sq: 1.0,
+            est_of_target_sq: 0.0,
+        };
+        assert_eq!(r.wire_bytes(), 16);
+    }
+}

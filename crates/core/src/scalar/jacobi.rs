@@ -1,0 +1,119 @@
+//! The (point) Jacobi method.
+
+use super::{ScalarOptions, ScalarState};
+use crate::ScalarHistory;
+use dsw_sparse::CsrMatrix;
+
+/// Point Jacobi: every sweep relaxes all rows simultaneously using the
+/// residual from the start of the sweep. One sweep is one parallel step.
+///
+/// Jacobi is the slowest method per relaxation in the paper's Figure 2 and
+/// is *not* guaranteed to converge for SPD matrices.
+pub fn jacobi(
+    a: &CsrMatrix,
+    b: &[f64],
+    x0: &[f64],
+    opts: &ScalarOptions,
+) -> (Vec<f64>, ScalarHistory) {
+    let n = a.nrows();
+    let mut st = ScalarState::new(a, b, x0, opts);
+    let diag = a.diagonal().expect("square matrix");
+
+    while st.relaxations + (n as u64) <= opts.max_relaxations {
+        // delta = D^{-1} r, applied simultaneously.
+        let delta: Vec<f64> = st.r.iter().zip(&diag).map(|(r, d)| r / d).collect();
+        for (xi, di) in st.x.iter_mut().zip(&delta) {
+            *xi += di;
+        }
+        // r <- r - A delta.
+        let adelta = a.mul_vec(&delta);
+        for (ri, adi) in st.r.iter_mut().zip(&adelta) {
+            *ri -= adi;
+        }
+        st.relaxations += n as u64;
+        let norm = st.end_parallel_step();
+        if let Some(t) = opts.target_residual {
+            if norm <= t {
+                break;
+            }
+        }
+        if !norm.is_finite() {
+            break; // diverged to overflow; history records it
+        }
+    }
+    st.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::test_support::{error_norm, poisson_system};
+
+    #[test]
+    fn jacobi_converges_on_poisson() {
+        let (a, b, x_true) = poisson_system(8, 8);
+        let n = a.nrows();
+        let opts = ScalarOptions {
+            max_relaxations: 500 * n as u64,
+            target_residual: Some(1e-8),
+            record_stride: n as u64,
+            seed: 0,
+        };
+        let (x, h) = jacobi(&a, &b, &vec![0.0; n], &opts);
+        assert!(h.final_residual <= 1e-8, "final {}", h.final_residual);
+        assert!(error_norm(&x, &x_true) < 1e-6);
+        // Each parallel step is a full sweep.
+        assert_eq!(h.step_boundaries[0], n as u64);
+        assert_eq!(h.total_relaxations % n as u64, 0);
+    }
+
+    #[test]
+    fn jacobi_respects_relaxation_budget() {
+        let (a, b, _) = poisson_system(5, 5);
+        let n = a.nrows() as u64;
+        let opts = ScalarOptions {
+            max_relaxations: 3 * n + 7, // only 3 whole sweeps fit
+            target_residual: None,
+            record_stride: n,
+            seed: 0,
+        };
+        let (_, h) = jacobi(&a, &b, &vec![0.0; 25], &opts);
+        assert_eq!(h.total_relaxations, 3 * n);
+        assert_eq!(h.parallel_steps(), 3);
+    }
+
+    #[test]
+    fn jacobi_diverges_on_strong_coupling() {
+        // Unit-diagonal clique matrix with c = 0.8: point Jacobi diverges
+        // (the paper's motivation for Southwell-type methods).
+        let mut a = dsw_sparse::gen::clique_grid2d(
+            8,
+            8,
+            dsw_sparse::gen::CliqueOptions {
+                coupling: 0.8,
+                weight_jump: 0.0,
+                seed: 0,
+                hot_fraction: 0.0,
+                hot_coupling: 0.0,
+            },
+        );
+        a.scale_unit_diagonal().unwrap();
+        let n = a.nrows();
+        let b = vec![0.0; n];
+        let x0 = dsw_sparse::gen::random_guess(n, 3);
+        let opts = ScalarOptions {
+            max_relaxations: 200 * n as u64,
+            target_residual: None,
+            record_stride: n as u64,
+            seed: 0,
+        };
+        let (_, h) = jacobi(&a, &b, &x0, &opts);
+        let first = h.samples.first().unwrap().residual_norm;
+        assert!(
+            h.final_residual > 10.0 * first || !h.final_residual.is_finite(),
+            "expected divergence, final {} vs initial {}",
+            h.final_residual,
+            first
+        );
+    }
+}

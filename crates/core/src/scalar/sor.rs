@@ -1,0 +1,221 @@
+//! Successive over-relaxation (SOR), symmetric Gauss–Seidel (SSOR sweep
+//! shape), and damped Jacobi — the classical relatives of the baseline
+//! methods, for completeness of the stationary-method family.
+
+use super::{ScalarOptions, ScalarState};
+use crate::ScalarHistory;
+use dsw_sparse::CsrMatrix;
+
+/// SOR with relaxation factor `omega ∈ (0, 2)`: Gauss–Seidel order, each
+/// update scaled by `omega`. `omega = 1` recovers Gauss–Seidel; the
+/// optimal value for the 2D Poisson model problem approaches 2 as the grid
+/// refines.
+pub fn sor(
+    a: &CsrMatrix,
+    b: &[f64],
+    x0: &[f64],
+    omega: f64,
+    opts: &ScalarOptions,
+) -> (Vec<f64>, ScalarHistory) {
+    assert!(
+        omega > 0.0 && omega < 2.0,
+        "SOR requires omega in (0, 2), got {omega}"
+    );
+    let n = a.nrows();
+    let mut st = ScalarState::new(a, b, x0, opts);
+    'outer: loop {
+        for i in 0..n {
+            if st.relaxations >= opts.max_relaxations {
+                break 'outer;
+            }
+            st.relax_row_weighted(i, omega);
+            if let Some(norm) = st.sample_if_due() {
+                if let Some(t) = opts.target_residual {
+                    if norm <= t {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+    st.finish()
+}
+
+/// Symmetric Gauss–Seidel: forward sweep then backward sweep. As a
+/// stationary method its iteration matrix is symmetrizable, which makes
+/// it usable inside CG-type preconditioners.
+pub fn symmetric_gauss_seidel(
+    a: &CsrMatrix,
+    b: &[f64],
+    x0: &[f64],
+    opts: &ScalarOptions,
+) -> (Vec<f64>, ScalarHistory) {
+    let n = a.nrows();
+    let mut st = ScalarState::new(a, b, x0, opts);
+    'outer: loop {
+        for i in 0..n {
+            if st.relaxations >= opts.max_relaxations {
+                break 'outer;
+            }
+            st.relax_row(i);
+            st.sample_if_due();
+        }
+        for i in (0..n).rev() {
+            if st.relaxations >= opts.max_relaxations {
+                break 'outer;
+            }
+            st.relax_row(i);
+            if let Some(norm) = st.sample_if_due() {
+                if let Some(t) = opts.target_residual {
+                    if norm <= t {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+    st.finish()
+}
+
+/// Damped Jacobi with weight `omega ∈ (0, 1]`: the classical multigrid
+/// smoother baseline (`omega = 2/3` optimal for 1D Poisson smoothing).
+pub fn damped_jacobi(
+    a: &CsrMatrix,
+    b: &[f64],
+    x0: &[f64],
+    omega: f64,
+    opts: &ScalarOptions,
+) -> (Vec<f64>, ScalarHistory) {
+    assert!(
+        omega > 0.0 && omega <= 1.0,
+        "damped Jacobi requires omega in (0, 1], got {omega}"
+    );
+    let n = a.nrows();
+    let mut st = ScalarState::new(a, b, x0, opts);
+    let diag = a.diagonal().expect("square matrix");
+    while st.relaxations + (n as u64) <= opts.max_relaxations {
+        let delta: Vec<f64> = st
+            .r
+            .iter()
+            .zip(&diag)
+            .map(|(r, d)| omega * r / d)
+            .collect();
+        for (xi, di) in st.x.iter_mut().zip(&delta) {
+            *xi += di;
+        }
+        let adelta = a.mul_vec(&delta);
+        for (ri, adi) in st.r.iter_mut().zip(&adelta) {
+            *ri -= adi;
+        }
+        st.relaxations += n as u64;
+        let norm = st.end_parallel_step();
+        if let Some(t) = opts.target_residual {
+            if norm <= t {
+                break;
+            }
+        }
+        if !norm.is_finite() {
+            break;
+        }
+    }
+    st.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::test_support::{error_norm, poisson_system};
+    use crate::scalar::{gauss_seidel, jacobi};
+
+    #[test]
+    fn sor_omega_one_equals_gauss_seidel() {
+        let (a, b, _) = poisson_system(6, 6);
+        let n = a.nrows();
+        let opts = ScalarOptions::sweeps(n, 3.0);
+        let (xs, _) = sor(&a, &b, &vec![0.0; n], 1.0, &opts);
+        let (xg, _) = gauss_seidel(&a, &b, &vec![0.0; n], &opts);
+        for (s, g) in xs.iter().zip(&xg) {
+            assert!((s - g).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn tuned_sor_beats_gauss_seidel() {
+        let (a, b, _) = poisson_system(12, 12);
+        let n = a.nrows();
+        let opts = ScalarOptions {
+            max_relaxations: 40 * n as u64,
+            target_residual: None,
+            record_stride: n as u64,
+            seed: 0,
+        };
+        // Near-optimal omega for this grid size.
+        let (_, hs) = sor(&a, &b, &vec![0.0; n], 1.6, &opts);
+        let (_, hg) = gauss_seidel(&a, &b, &vec![0.0; n], &opts);
+        assert!(
+            hs.final_residual < hg.final_residual,
+            "SOR {} !< GS {}",
+            hs.final_residual,
+            hg.final_residual
+        );
+    }
+
+    #[test]
+    fn sor_converges_to_solution() {
+        let (a, b, x_true) = poisson_system(8, 8);
+        let n = a.nrows();
+        let opts = ScalarOptions {
+            max_relaxations: 400 * n as u64,
+            target_residual: Some(1e-10),
+            record_stride: n as u64,
+            seed: 0,
+        };
+        let (x, h) = sor(&a, &b, &vec![0.0; n], 1.5, &opts);
+        assert!(h.final_residual <= 1e-10);
+        assert!(error_norm(&x, &x_true) < 1e-8);
+    }
+
+    #[test]
+    fn symmetric_gs_converges() {
+        let (a, b, x_true) = poisson_system(8, 8);
+        let n = a.nrows();
+        let opts = ScalarOptions {
+            max_relaxations: 400 * n as u64,
+            target_residual: Some(1e-10),
+            record_stride: n as u64,
+            seed: 0,
+        };
+        let (x, h) = symmetric_gauss_seidel(&a, &b, &vec![0.0; n], &opts);
+        assert!(h.final_residual <= 1e-10);
+        assert!(error_norm(&x, &x_true) < 1e-8);
+    }
+
+    #[test]
+    fn damped_jacobi_converges_where_it_should() {
+        let (a, b, _) = poisson_system(8, 8);
+        let n = a.nrows();
+        let opts = ScalarOptions {
+            max_relaxations: 2000 * n as u64,
+            target_residual: Some(1e-8),
+            record_stride: n as u64,
+            seed: 0,
+        };
+        let (_, h) = damped_jacobi(&a, &b, &vec![0.0; n], 0.8, &opts);
+        assert!(h.final_residual <= 1e-8, "final {}", h.final_residual);
+        // And matches plain Jacobi at omega = 1.
+        let opts1 = ScalarOptions::sweeps(n, 2.0);
+        let (x1, _) = damped_jacobi(&a, &b, &vec![0.0; n], 1.0, &opts1);
+        let (x2, _) = jacobi(&a, &b, &vec![0.0; n], &opts1);
+        for (p, q) in x1.iter().zip(&x2) {
+            assert!((p - q).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "omega in (0, 2)")]
+    fn sor_rejects_bad_omega() {
+        let (a, b, _) = poisson_system(3, 3);
+        let opts = ScalarOptions::sweeps(9, 1.0);
+        sor(&a, &b, &vec![0.0; 9], 2.5, &opts);
+    }
+}

@@ -1,0 +1,135 @@
+//! Grid transfer operators: bilinear prolongation and its adjoint.
+//!
+//! Vertex layout: a level with interior dimension `d` has unknowns at
+//! `(i, j)`, `0 ≤ i, j < d`, with the Dirichlet boundary one step outside.
+//! Coarse point `(ic, jc)` coincides with fine point `(2·ic + 1, 2·jc + 1)`.
+
+/// Bilinear prolongation `e_f = P e_c` from a `cd × cd` coarse grid to the
+/// `fd × fd` fine grid (`fd = 2·cd + 1`). Fine points coinciding with
+/// coarse points copy the value; edge midpoints average two coarse
+/// neighbors; cell centers average four. Boundary (Dirichlet zero)
+/// neighbors contribute zero.
+pub fn prolong(coarse: &[f64], cd: usize, fd: usize) -> Vec<f64> {
+    assert_eq!(fd, 2 * cd + 1, "incompatible grid dimensions");
+    assert_eq!(coarse.len(), cd * cd);
+    let cval = |ic: isize, jc: isize| -> f64 {
+        if ic < 0 || jc < 0 || ic >= cd as isize || jc >= cd as isize {
+            0.0
+        } else {
+            coarse[jc as usize * cd + ic as usize]
+        }
+    };
+    let mut fine = vec![0.0; fd * fd];
+    for j in 0..fd {
+        for i in 0..fd {
+            let (ic, irem) = (((i as isize) - 1).div_euclid(2), (i + 1) % 2);
+            let (jc, jrem) = (((j as isize) - 1).div_euclid(2), (j + 1) % 2);
+            // irem == 0 means i is odd (coincides with a coarse column).
+            let v = match (irem, jrem) {
+                (0, 0) => cval(ic, jc),
+                (1, 0) => 0.5 * (cval(ic, jc) + cval(ic + 1, jc)),
+                (0, 1) => 0.5 * (cval(ic, jc) + cval(ic, jc + 1)),
+                (1, 1) => {
+                    0.25 * (cval(ic, jc) + cval(ic + 1, jc) + cval(ic, jc + 1) + cval(ic + 1, jc + 1))
+                }
+                _ => unreachable!(),
+            };
+            fine[j * fd + i] = v;
+        }
+    }
+    fine
+}
+
+/// Residual restriction `r_c = Pᵀ r_f` (the adjoint of [`prolong`]).
+/// For the unit-`h`-scaled 5-point rediscretization this equals 4× full
+/// weighting, which is the scaling that preserves two-grid convergence.
+pub fn restrict(fine: &[f64], fd: usize, cd: usize) -> Vec<f64> {
+    assert_eq!(fd, 2 * cd + 1, "incompatible grid dimensions");
+    assert_eq!(fine.len(), fd * fd);
+    let fval = |i: isize, j: isize| -> f64 {
+        if i < 0 || j < 0 || i >= fd as isize || j >= fd as isize {
+            0.0
+        } else {
+            fine[j as usize * fd + i as usize]
+        }
+    };
+    let mut coarse = vec![0.0; cd * cd];
+    for jc in 0..cd {
+        for ic in 0..cd {
+            let fi = 2 * ic as isize + 1;
+            let fj = 2 * jc as isize + 1;
+            // Adjoint weights: 1 at the center, 1/2 at edge neighbors,
+            // 1/4 at corners — the full-weighting stencil times 4.
+            let v = fval(fi, fj)
+                + 0.5 * (fval(fi - 1, fj) + fval(fi + 1, fj) + fval(fi, fj - 1) + fval(fi, fj + 1))
+                + 0.25
+                    * (fval(fi - 1, fj - 1)
+                        + fval(fi + 1, fj - 1)
+                        + fval(fi - 1, fj + 1)
+                        + fval(fi + 1, fj + 1));
+            coarse[jc * cd + ic] = v;
+        }
+    }
+    coarse
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prolong_constant_is_constant_in_the_interior() {
+        // Away from the boundary, interpolating the constant 1 gives 1.
+        let cd = 3;
+        let fd = 7;
+        let coarse = vec![1.0; cd * cd];
+        let fine = prolong(&coarse, cd, fd);
+        // Center fine point (3,3) coincides with coarse (1,1).
+        assert_eq!(fine[3 * fd + 3], 1.0);
+        // Edge midpoint between two interior coarse points.
+        assert_eq!(fine[3 * fd + 2], 1.0);
+        // Near-boundary points see Dirichlet zeros.
+        assert_eq!(fine[0], 0.25);
+    }
+
+    #[test]
+    fn coarse_points_are_injected() {
+        let cd = 3;
+        let fd = 7;
+        let mut coarse = vec![0.0; 9];
+        coarse[1 * 3 + 2] = 5.0; // coarse (2,1) -> fine (5,3)
+        let fine = prolong(&coarse, cd, fd);
+        assert_eq!(fine[3 * fd + 5], 5.0);
+    }
+
+    #[test]
+    fn restrict_is_adjoint_of_prolong() {
+        // <P e_c, r_f> == <e_c, R r_f> for arbitrary vectors.
+        let cd = 3;
+        let fd = 7;
+        let ec: Vec<f64> = (0..cd * cd).map(|k| (k as f64 * 0.37).sin()).collect();
+        let rf: Vec<f64> = (0..fd * fd).map(|k| (k as f64 * 0.11).cos()).collect();
+        let pec = prolong(&ec, cd, fd);
+        let rrf = restrict(&rf, fd, cd);
+        let lhs: f64 = pec.iter().zip(&rf).map(|(a, b)| a * b).sum();
+        let rhs: f64 = ec.iter().zip(&rrf).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-12, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn restriction_weights_sum_to_four() {
+        // Restricting the constant-1 fine function at an interior coarse
+        // point gives 4 (1 + 4*1/2 + 4*1/4).
+        let fd = 7;
+        let cd = 3;
+        let fine = vec![1.0; fd * fd];
+        let coarse = restrict(&fine, fd, cd);
+        assert_eq!(coarse[1 * cd + 1], 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn dimension_mismatch_panics() {
+        prolong(&[0.0; 9], 3, 8);
+    }
+}

@@ -1,0 +1,27 @@
+//! Graph partitioning and coloring for the Distributed Southwell solvers.
+//!
+//! The paper partitions each test matrix over MPI processes with METIS and
+//! colors rows for Multicolor Gauss–Seidel with a breadth-first traversal.
+//! This crate provides both from scratch:
+//!
+//! * [`graph::Graph`] — an undirected weighted adjacency structure derived
+//!   from a sparse matrix,
+//! * [`coloring::greedy_coloring_bfs`] — greedy multicoloring in BFS order
+//!   (the scheme the paper uses for MC-GS in Figures 2 and 5),
+//! * [`Partition`] — a `rows → parts` assignment with quality metrics,
+//! * partitioners in increasing sophistication: [`partition_strip`]
+//!   (contiguous row blocks), [`partition_greedy_growing`] (BFS region
+//!   growing), and [`partition_multilevel`] — a METIS-style multilevel
+//!   scheme (heavy-edge matching coarsening, greedy initial partition,
+//!   boundary Kernighan–Lin/FM refinement on every level).
+
+pub mod coloring;
+pub mod graph;
+pub mod partitioner;
+
+pub use coloring::{greedy_coloring_bfs, Coloring};
+pub use graph::Graph;
+pub use partitioner::{
+    partition_greedy_growing, partition_multilevel, partition_strip, MultilevelOptions,
+    Partition,
+};

@@ -1,0 +1,549 @@
+//! Row-to-process partitioners, from trivial strips to a METIS-style
+//! multilevel scheme.
+
+use crate::graph::Graph;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// An assignment of `n` rows to `nparts` parts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    nparts: usize,
+    assignment: Vec<usize>,
+}
+
+impl Partition {
+    /// Wraps an assignment, validating part indices.
+    pub fn new(nparts: usize, assignment: Vec<usize>) -> Self {
+        assert!(nparts > 0, "nparts must be positive");
+        assert!(
+            assignment.iter().all(|&p| p < nparts),
+            "part index out of range"
+        );
+        Partition { nparts, assignment }
+    }
+
+    /// Number of parts.
+    #[inline]
+    pub fn nparts(&self) -> usize {
+        self.nparts
+    }
+
+    /// The part of row `i`.
+    #[inline]
+    pub fn part_of(&self, i: usize) -> usize {
+        self.assignment[i]
+    }
+
+    /// The full assignment slice.
+    #[inline]
+    pub fn assignment(&self) -> &[usize] {
+        &self.assignment
+    }
+
+    /// Rows of each part, sorted increasingly.
+    pub fn part_rows(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.nparts];
+        for (i, &p) in self.assignment.iter().enumerate() {
+            out[p].push(i);
+        }
+        out
+    }
+
+    /// Row count per part.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut s = vec![0usize; self.nparts];
+        for &p in &self.assignment {
+            s[p] += 1;
+        }
+        s
+    }
+
+    /// Total weight of cut edges (each undirected edge counted once).
+    pub fn edge_cut(&self, g: &Graph) -> f64 {
+        let mut cut = 0.0;
+        for v in 0..g.nvertices() {
+            for (w, ew) in g.edges(v) {
+                if w > v && self.assignment[v] != self.assignment[w] {
+                    cut += ew;
+                }
+            }
+        }
+        cut
+    }
+
+    /// Maximum part weight divided by the average part weight (≥ 1; 1 is
+    /// perfectly balanced).
+    pub fn imbalance(&self, g: &Graph) -> f64 {
+        let mut wgt = vec![0u64; self.nparts];
+        for (v, &p) in self.assignment.iter().enumerate() {
+            wgt[p] += g.vertex_weight(v);
+        }
+        let max = *wgt.iter().max().unwrap() as f64;
+        let avg = g.total_vertex_weight() as f64 / self.nparts as f64;
+        max / avg
+    }
+
+    /// Whether every part has at least one row.
+    pub fn all_parts_nonempty(&self) -> bool {
+        self.sizes().iter().all(|&s| s > 0)
+    }
+}
+
+/// Splits rows `0..n` into `nparts` contiguous strips of near-equal size.
+pub fn partition_strip(n: usize, nparts: usize) -> Partition {
+    assert!(nparts > 0 && nparts <= n, "need 1 <= nparts <= n");
+    let mut assignment = vec![0usize; n];
+    let base = n / nparts;
+    let extra = n % nparts;
+    let mut row = 0;
+    for p in 0..nparts {
+        let len = base + usize::from(p < extra);
+        for _ in 0..len {
+            assignment[row] = p;
+            row += 1;
+        }
+    }
+    Partition::new(nparts, assignment)
+}
+
+/// Greedy graph growing: parts are grown one at a time by BFS from a
+/// pseudo-peripheral seed until they reach the target vertex weight.
+pub fn partition_greedy_growing(g: &Graph, nparts: usize, seed: u64) -> Partition {
+    let n = g.nvertices();
+    assert!(nparts > 0 && nparts <= n, "need 1 <= nparts <= n");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let total = g.total_vertex_weight();
+    let mut assignment = vec![usize::MAX; n];
+    let mut assigned_weight = 0u64;
+
+    for p in 0..nparts {
+        let remaining_parts = (nparts - p) as u64;
+        let target = (total - assigned_weight).div_ceil(remaining_parts);
+        // Find a seed: a pseudo-peripheral unassigned vertex (BFS twice).
+        let start = match first_unassigned(&assignment, &mut rng) {
+            Some(s) => s,
+            None => break,
+        };
+        let far = bfs_last_unassigned(g, &assignment, start);
+        let mut grown = 0u64;
+        let mut queue = std::collections::VecDeque::new();
+        assignment[far] = p;
+        grown += g.vertex_weight(far);
+        queue.push_back(far);
+        'grow: while let Some(v) = queue.pop_front() {
+            for &w in g.neighbors(v) {
+                if assignment[w] == usize::MAX {
+                    assignment[w] = p;
+                    grown += g.vertex_weight(w);
+                    queue.push_back(w);
+                    if grown >= target && p + 1 < nparts {
+                        break 'grow;
+                    }
+                }
+            }
+        }
+        // The frontier may be exhausted (disconnected remainder); restart
+        // BFS from another unassigned vertex until the target is met.
+        while grown < target && p + 1 < nparts {
+            match first_unassigned(&assignment, &mut rng) {
+                Some(s) => {
+                    assignment[s] = p;
+                    grown += g.vertex_weight(s);
+                    let mut q = std::collections::VecDeque::new();
+                    q.push_back(s);
+                    'grow2: while let Some(v) = q.pop_front() {
+                        for &w in g.neighbors(v) {
+                            if assignment[w] == usize::MAX {
+                                assignment[w] = p;
+                                grown += g.vertex_weight(w);
+                                q.push_back(w);
+                                if grown >= target {
+                                    break 'grow2;
+                                }
+                            }
+                        }
+                    }
+                }
+                None => break,
+            }
+        }
+        assigned_weight += grown;
+    }
+    // Sweep up any stragglers into the last part.
+    for a in assignment.iter_mut() {
+        if *a == usize::MAX {
+            *a = nparts - 1;
+        }
+    }
+    let mut part = Partition::new(nparts, assignment);
+    fix_empty_parts(g, &mut part);
+    part
+}
+
+fn first_unassigned(assignment: &[usize], rng: &mut StdRng) -> Option<usize> {
+    let unassigned: Vec<usize> = assignment
+        .iter()
+        .enumerate()
+        .filter(|(_, &a)| a == usize::MAX)
+        .map(|(i, _)| i)
+        .collect();
+    if unassigned.is_empty() {
+        None
+    } else {
+        Some(unassigned[rng.gen_range(0..unassigned.len())])
+    }
+}
+
+/// Last vertex reached by a BFS over unassigned vertices from `start`
+/// (a cheap pseudo-peripheral vertex).
+fn bfs_last_unassigned(g: &Graph, assignment: &[usize], start: usize) -> usize {
+    let mut seen = vec![false; g.nvertices()];
+    let mut queue = std::collections::VecDeque::new();
+    seen[start] = true;
+    queue.push_back(start);
+    let mut last = start;
+    while let Some(v) = queue.pop_front() {
+        last = v;
+        for &w in g.neighbors(v) {
+            if !seen[w] && assignment[w] == usize::MAX {
+                seen[w] = true;
+                queue.push_back(w);
+            }
+        }
+    }
+    last
+}
+
+/// Moves one boundary vertex into each empty part so the solvers never see
+/// an empty subdomain.
+fn fix_empty_parts(g: &Graph, part: &mut Partition) {
+    loop {
+        let sizes = part.sizes();
+        let Some(empty) = sizes.iter().position(|&s| s == 0) else {
+            return;
+        };
+        // Steal a vertex from the largest part (prefer one with a small
+        // degree to keep the donor connected-ish).
+        let donor = sizes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &s)| s)
+            .map(|(p, _)| p)
+            .unwrap();
+        let victim = (0..g.nvertices())
+            .filter(|&v| part.assignment[v] == donor)
+            .min_by_key(|&v| g.degree(v))
+            .expect("donor part is nonempty");
+        part.assignment[victim] = empty;
+    }
+}
+
+/// Options for the multilevel partitioner.
+#[derive(Debug, Clone, Copy)]
+pub struct MultilevelOptions {
+    /// Stop coarsening once the graph has at most
+    /// `max(coarsen_to, 8 × nparts)` vertices.
+    pub coarsen_to: usize,
+    /// Boundary-refinement passes per level.
+    pub refine_passes: usize,
+    /// Allowed imbalance (max part weight / average), e.g. `1.1`.
+    pub balance_tol: f64,
+    /// RNG seed (matching order, seed vertices).
+    pub seed: u64,
+}
+
+impl Default for MultilevelOptions {
+    fn default() -> Self {
+        MultilevelOptions {
+            coarsen_to: 200,
+            refine_passes: 4,
+            balance_tol: 1.10,
+            seed: 0,
+        }
+    }
+}
+
+/// METIS-style multilevel k-way partitioning:
+/// heavy-edge-matching coarsening, greedy-growing initial partition on the
+/// coarsest graph, and greedy boundary (KL/FM-style) refinement while
+/// uncoarsening.
+pub fn partition_multilevel(g: &Graph, nparts: usize, opts: MultilevelOptions) -> Partition {
+    let n = g.nvertices();
+    assert!(nparts > 0 && nparts <= n, "need 1 <= nparts <= n");
+    if nparts == 1 {
+        return Partition::new(1, vec![0; n]);
+    }
+
+    // Coarsening phase: levels[0] is the input graph.
+    let mut levels: Vec<Graph> = vec![g.clone()];
+    let mut maps: Vec<Vec<usize>> = Vec::new(); // fine vertex -> coarse vertex
+    let stop = opts.coarsen_to.max(8 * nparts);
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    while levels.last().unwrap().nvertices() > stop {
+        let cur = levels.last().unwrap();
+        let (coarse, map) = coarsen_hem(cur, &mut rng);
+        // Stalled coarsening (highly irregular graphs): stop.
+        if coarse.nvertices() as f64 > 0.95 * cur.nvertices() as f64 {
+            break;
+        }
+        levels.push(coarse);
+        maps.push(map);
+    }
+
+    // Initial partition on the coarsest level.
+    let coarsest = levels.last().unwrap();
+    let mut part = partition_greedy_growing(coarsest, nparts, opts.seed ^ 0x9e3779b9);
+    refine_boundary(coarsest, &mut part, opts.refine_passes, opts.balance_tol);
+
+    // Uncoarsening with refinement.
+    for lvl in (0..maps.len()).rev() {
+        let fine = &levels[lvl];
+        let map = &maps[lvl];
+        let assignment: Vec<usize> = (0..fine.nvertices())
+            .map(|v| part.assignment[map[v]])
+            .collect();
+        part = Partition::new(nparts, assignment);
+        refine_boundary(fine, &mut part, opts.refine_passes, opts.balance_tol);
+    }
+    fix_empty_parts(g, &mut part);
+    part
+}
+
+/// One round of heavy-edge matching; returns the coarse graph and the
+/// fine→coarse vertex map.
+fn coarsen_hem(g: &Graph, rng: &mut StdRng) -> (Graph, Vec<usize>) {
+    let n = g.nvertices();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+    let mut mate = vec![usize::MAX; n];
+    for &v in &order {
+        if mate[v] != usize::MAX {
+            continue;
+        }
+        // Heaviest unmatched neighbor.
+        let mut best: Option<(usize, f64)> = None;
+        for (w, ew) in g.edges(v) {
+            if mate[w] == usize::MAX && w != v {
+                match best {
+                    Some((_, bw)) if ew <= bw => {}
+                    _ => best = Some((w, ew)),
+                }
+            }
+        }
+        match best {
+            Some((w, _)) => {
+                mate[v] = w;
+                mate[w] = v;
+            }
+            None => mate[v] = v, // matched with itself
+        }
+    }
+
+    // Assign coarse ids.
+    let mut coarse_of = vec![usize::MAX; n];
+    let mut nc = 0;
+    for v in 0..n {
+        if coarse_of[v] != usize::MAX {
+            continue;
+        }
+        coarse_of[v] = nc;
+        let m = mate[v];
+        if m != v && m != usize::MAX {
+            coarse_of[m] = nc;
+        }
+        nc += 1;
+    }
+
+    // Build the coarse graph with aggregated weights.
+    let mut vwgt = vec![0u64; nc];
+    for v in 0..n {
+        vwgt[coarse_of[v]] += g.vertex_weight(v);
+    }
+    // Accumulate coarse adjacency; use a scratch map keyed by coarse id.
+    let mut xadj = Vec::with_capacity(nc + 1);
+    let mut adjncy = Vec::new();
+    let mut ewgt = Vec::new();
+    xadj.push(0);
+    // members[c] lists fine vertices of coarse vertex c.
+    let mut members = vec![Vec::with_capacity(2); nc];
+    for v in 0..n {
+        members[coarse_of[v]].push(v);
+    }
+    let mut scratch_pos = vec![usize::MAX; nc]; // coarse neighbor -> slot
+    for c in 0..nc {
+        let start = adjncy.len();
+        for &v in &members[c] {
+            for (w, ew) in g.edges(v) {
+                let cw = coarse_of[w];
+                if cw == c {
+                    continue;
+                }
+                let pos = scratch_pos[cw];
+                if pos >= start && pos < adjncy.len() && adjncy[pos] == cw {
+                    ewgt[pos] += ew;
+                } else {
+                    scratch_pos[cw] = adjncy.len();
+                    adjncy.push(cw);
+                    ewgt.push(ew);
+                }
+            }
+        }
+        xadj.push(adjncy.len());
+    }
+    (Graph::from_parts(xadj, adjncy, ewgt, vwgt), coarse_of)
+}
+
+/// Greedy boundary refinement: repeatedly move boundary vertices to the
+/// neighboring part with the largest positive edge-cut gain, subject to the
+/// balance constraint. A lightweight stand-in for full FM with buckets.
+fn refine_boundary(g: &Graph, part: &mut Partition, passes: usize, balance_tol: f64) {
+    let n = g.nvertices();
+    let nparts = part.nparts;
+    let mut wgt = vec![0u64; nparts];
+    for v in 0..n {
+        wgt[part.assignment[v]] += g.vertex_weight(v);
+    }
+    let avg = g.total_vertex_weight() as f64 / nparts as f64;
+    let max_w = (avg * balance_tol).ceil() as u64;
+
+    // Per-part connection weights of one vertex, reset between vertices.
+    let mut conn = vec![0.0f64; nparts];
+    let mut touched: Vec<usize> = Vec::new();
+
+    for _ in 0..passes {
+        let mut moved = 0usize;
+        for v in 0..n {
+            let home = part.assignment[v];
+            let mut is_boundary = false;
+            for (w, ew) in g.edges(v) {
+                let pw = part.assignment[w];
+                if conn[pw] == 0.0 {
+                    touched.push(pw);
+                }
+                conn[pw] += ew;
+                if pw != home {
+                    is_boundary = true;
+                }
+            }
+            if is_boundary {
+                let internal = conn[home];
+                let mut best: Option<(usize, f64)> = None;
+                for &p in &touched {
+                    if p == home {
+                        continue;
+                    }
+                    let gain = conn[p] - internal;
+                    if gain > 0.0
+                        && wgt[p] + g.vertex_weight(v) <= max_w
+                        && wgt[home] > g.vertex_weight(v)
+                    {
+                        match best {
+                            Some((_, bg)) if gain <= bg => {}
+                            _ => best = Some((p, gain)),
+                        }
+                    }
+                }
+                if let Some((p, _)) = best {
+                    wgt[home] -= g.vertex_weight(v);
+                    wgt[p] += g.vertex_weight(v);
+                    part.assignment[v] = p;
+                    moved += 1;
+                }
+            }
+            for &p in &touched {
+                conn[p] = 0.0;
+            }
+            touched.clear();
+        }
+        if moved == 0 {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsw_sparse::gen::{grid2d_poisson, grid3d_poisson};
+
+    #[test]
+    fn strip_partition_balanced() {
+        let p = partition_strip(10, 3);
+        assert_eq!(p.sizes(), vec![4, 3, 3]);
+        assert!(p.all_parts_nonempty());
+        assert_eq!(p.part_of(0), 0);
+        assert_eq!(p.part_of(9), 2);
+    }
+
+    #[test]
+    fn greedy_growing_covers_and_balances() {
+        let a = grid2d_poisson(20, 20);
+        let g = Graph::from_matrix(&a);
+        let p = partition_greedy_growing(&g, 8, 1);
+        assert!(p.all_parts_nonempty());
+        assert!(p.imbalance(&g) < 1.5, "imbalance {}", p.imbalance(&g));
+    }
+
+    #[test]
+    fn multilevel_beats_strip_on_edge_cut() {
+        let a = grid2d_poisson(32, 32);
+        let g = Graph::from_matrix(&a);
+        let strip = partition_strip(g.nvertices(), 16);
+        let ml = partition_multilevel(&g, 16, MultilevelOptions::default());
+        assert!(ml.all_parts_nonempty());
+        assert!(ml.imbalance(&g) <= 1.25, "imbalance {}", ml.imbalance(&g));
+        assert!(
+            ml.edge_cut(&g) < strip.edge_cut(&g),
+            "ml cut {} !< strip cut {}",
+            ml.edge_cut(&g),
+            strip.edge_cut(&g)
+        );
+    }
+
+    #[test]
+    fn multilevel_3d() {
+        let a = grid3d_poisson(10, 10, 10);
+        let g = Graph::from_matrix(&a);
+        let p = partition_multilevel(&g, 8, MultilevelOptions::default());
+        assert!(p.all_parts_nonempty());
+        assert!(p.imbalance(&g) <= 1.3, "imbalance {}", p.imbalance(&g));
+        // A decent 8-way cut of a 10^3 grid is well under the worst case.
+        assert!(p.edge_cut(&g) < 600.0, "cut {}", p.edge_cut(&g));
+    }
+
+    #[test]
+    fn multilevel_single_part() {
+        let a = grid2d_poisson(4, 4);
+        let g = Graph::from_matrix(&a);
+        let p = partition_multilevel(&g, 1, MultilevelOptions::default());
+        assert_eq!(p.sizes(), vec![16]);
+        assert_eq!(p.edge_cut(&g), 0.0);
+    }
+
+    #[test]
+    fn multilevel_nparts_equals_n() {
+        let a = grid2d_poisson(3, 3);
+        let g = Graph::from_matrix(&a);
+        let p = partition_multilevel(&g, 9, MultilevelOptions::default());
+        assert!(p.all_parts_nonempty());
+        assert_eq!(p.sizes(), vec![1; 9]);
+    }
+
+    #[test]
+    fn partition_is_deterministic() {
+        let a = grid2d_poisson(16, 16);
+        let g = Graph::from_matrix(&a);
+        let o = MultilevelOptions::default();
+        let p1 = partition_multilevel(&g, 7, o);
+        let p2 = partition_multilevel(&g, 7, o);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    #[should_panic(expected = "need 1 <= nparts <= n")]
+    fn too_many_parts_panics() {
+        partition_strip(3, 5);
+    }
+}

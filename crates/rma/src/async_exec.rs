@@ -1,0 +1,254 @@
+//! Asynchronous execution: ranks progress at different rates.
+//!
+//! The paper's MPI implementation uses Casper ghost processes for
+//! asynchronous one-sided progress, and its predecessor (ICCS'16) was an
+//! explicitly asynchronous method. The lock-step [`crate::Executor`]
+//! captures the *epoch semantics*; this module captures the *asynchrony*:
+//! each scheduler tick advances a pseudo-random subset of ranks by one
+//! phase, so some ranks race ahead while others lag (bounded by
+//! `max_lag` phases, modelling a progress guarantee). Puts are delivered
+//! when the *target* finishes its current phase — a rank never sees a
+//! message mid-phase, preserving the window-consistency rule — but unlike
+//! the superstep executor, messages from a fast neighbor can arrive
+//! "early" and several at once.
+//!
+//! The Southwell protocols tolerate this by design (their neighbor data
+//! are estimates); the `async_execution_still_converges` tests demonstrate
+//! it.
+
+use crate::executor::{Envelope, PhaseCtx, RankAlgorithm};
+use crate::stats::RunStats;
+
+/// Scheduling options for the asynchronous executor.
+#[derive(Debug, Clone, Copy)]
+pub struct AsyncOptions {
+    /// Probability that a ready rank is advanced on a given tick.
+    pub advance_probability: f64,
+    /// Maximum phase lead any rank may have over the slowest rank
+    /// (progress bound; prevents unbounded staleness).
+    pub max_lag: usize,
+    /// Scheduler seed.
+    pub seed: u64,
+}
+
+impl Default for AsyncOptions {
+    fn default() -> Self {
+        AsyncOptions {
+            advance_probability: 0.7,
+            max_lag: 4,
+            seed: 1,
+        }
+    }
+}
+
+/// Runs ranks with independent phase clocks.
+pub struct AsyncExecutor<A: RankAlgorithm> {
+    ranks: Vec<A>,
+    /// Global phase counter per rank (`step * phases + phase`).
+    clock: Vec<usize>,
+    /// Messages awaiting the target's next phase boundary.
+    pending: Vec<Vec<Envelope<A::Msg>>>,
+    /// Messages visible to the target's next phase.
+    inboxes: Vec<Vec<Envelope<A::Msg>>>,
+    opts: AsyncOptions,
+    rng_state: u64,
+    /// Aggregate statistics (time model is not meaningful here; only
+    /// message counts are tracked).
+    pub stats: RunStats,
+}
+
+impl<A: RankAlgorithm> AsyncExecutor<A> {
+    /// Creates an asynchronous executor.
+    pub fn new(ranks: Vec<A>, opts: AsyncOptions) -> Self {
+        assert!(!ranks.is_empty(), "need at least one rank");
+        assert!(
+            (0.0..=1.0).contains(&opts.advance_probability),
+            "advance_probability must be a probability"
+        );
+        assert!(opts.max_lag >= 1, "max_lag must be at least 1");
+        let n = ranks.len();
+        AsyncExecutor {
+            ranks,
+            clock: vec![0; n],
+            pending: (0..n).map(|_| Vec::new()).collect(),
+            inboxes: (0..n).map(|_| Vec::new()).collect(),
+            opts,
+            rng_state: opts.seed.wrapping_mul(0x9e3779b97f4a7c15) | 1,
+            stats: RunStats::new(n),
+        }
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        (x.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Immutable access to the rank programs.
+    pub fn ranks(&self) -> &[A] {
+        &self.ranks
+    }
+
+    /// The per-rank phase clocks.
+    pub fn clocks(&self) -> &[usize] {
+        &self.clock
+    }
+
+    /// One scheduler tick: every rank that wins the coin flip — and is not
+    /// too far ahead of the slowest rank — executes its next phase.
+    /// Returns the number of ranks advanced.
+    pub fn tick(&mut self) -> usize {
+        let n = self.ranks.len();
+        let nphases = self.ranks[0].phases();
+        let min_clock = *self.clock.iter().min().unwrap();
+        let mut advanced = 0;
+        let mut total_msgs = 0u64;
+        // Messages produced this tick are held back until the tick ends, so
+        // a rank never sees a same-tick neighbor's output mid-flight (the
+        // window rule: data lands between the target's phases).
+        let mut tick_out: Vec<(usize, Envelope<A::Msg>)> = Vec::new();
+        for i in 0..n {
+            if self.clock[i] >= min_clock + self.opts.max_lag {
+                continue; // progress bound: wait for stragglers
+            }
+            if self.next_f64() >= self.opts.advance_probability {
+                continue;
+            }
+            // Phase boundary for rank i: absorb pending messages, run.
+            let mut inbox = std::mem::take(&mut self.inboxes[i]);
+            inbox.extend(self.pending[i].drain(..));
+            // Deterministic order regardless of arrival interleaving.
+            inbox.sort_by_key(|e| e.src);
+            let phase = self.clock[i] % nphases;
+            let mut ctx = PhaseCtx::new_for_async(i);
+            self.ranks[i].phase(phase, &inbox, &mut ctx);
+            let (outbox, msgs) = ctx.into_outbox_and_count();
+            self.stats.msgs_per_rank[i] += msgs;
+            total_msgs += msgs;
+            tick_out.extend(outbox);
+            self.clock[i] += 1;
+            advanced += 1;
+        }
+        for (target, env) in tick_out {
+            self.pending[target].push(env);
+        }
+        // Record a pseudo-step for the counters.
+        self.stats.steps.push(crate::stats::StepStats {
+            msgs: total_msgs,
+            ..Default::default()
+        });
+        advanced
+    }
+
+    /// Ticks until every rank has completed at least `steps` full parallel
+    /// steps (all phases), or `max_ticks` elapses. Returns ticks used.
+    pub fn run_steps(&mut self, steps: usize, max_ticks: usize) -> usize {
+        let nphases = self.ranks[0].phases();
+        let goal = steps * nphases;
+        for t in 0..max_ticks {
+            if self.clock.iter().all(|&c| c >= goal) {
+                return t;
+            }
+            self.tick();
+        }
+        max_ticks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::RankAlgorithm;
+    use crate::stats::CommClass;
+
+    /// The ring test program from the superstep executor tests.
+    struct Ring {
+        id: usize,
+        n: usize,
+        value: u64,
+    }
+
+    impl RankAlgorithm for Ring {
+        type Msg = u64;
+        fn phases(&self) -> usize {
+            1
+        }
+        fn phase(
+            &mut self,
+            _phase: usize,
+            inbox: &[Envelope<u64>],
+            ctx: &mut PhaseCtx<u64>,
+        ) {
+            for e in inbox {
+                self.value += e.payload;
+            }
+            ctx.put((self.id + 1) % self.n, CommClass::Solve, self.value, 8);
+        }
+    }
+
+    #[test]
+    fn async_ring_makes_progress_under_lag_bound() {
+        let ranks: Vec<Ring> = (0..5)
+            .map(|id| Ring {
+                id,
+                n: 5,
+                value: 1,
+            })
+            .collect();
+        let mut ex = AsyncExecutor::new(ranks, AsyncOptions::default());
+        let ticks = ex.run_steps(10, 10_000);
+        assert!(ticks < 10_000, "should reach 10 steps quickly");
+        // Lag bound held throughout (final state check).
+        let min = *ex.clocks().iter().min().unwrap();
+        let max = *ex.clocks().iter().max().unwrap();
+        assert!(max - min <= ex.opts.max_lag);
+        // Values grew (messages flowed).
+        assert!(ex.ranks().iter().all(|r| r.value > 1));
+        assert!(ex.stats.total_msgs() > 0);
+    }
+
+    #[test]
+    fn async_scheduling_is_deterministic_per_seed() {
+        let mk = || {
+            let ranks: Vec<Ring> = (0..4)
+                .map(|id| Ring {
+                    id,
+                    n: 4,
+                    value: 1,
+                })
+                .collect();
+            AsyncExecutor::new(ranks, AsyncOptions::default())
+        };
+        let mut a = mk();
+        let mut b = mk();
+        a.run_steps(8, 1000);
+        b.run_steps(8, 1000);
+        let va: Vec<u64> = a.ranks().iter().map(|r| r.value).collect();
+        let vb: Vec<u64> = b.ranks().iter().map(|r| r.value).collect();
+        assert_eq!(va, vb);
+        assert_eq!(a.clocks(), b.clocks());
+    }
+
+    #[test]
+    fn zero_probability_never_advances() {
+        let ranks: Vec<Ring> = (0..3)
+            .map(|id| Ring {
+                id,
+                n: 3,
+                value: 1,
+            })
+            .collect();
+        let mut ex = AsyncExecutor::new(
+            ranks,
+            AsyncOptions {
+                advance_probability: 0.0,
+                ..AsyncOptions::default()
+            },
+        );
+        assert_eq!(ex.tick(), 0);
+        assert_eq!(ex.clocks(), &[0, 0, 0]);
+    }
+}

@@ -1,0 +1,608 @@
+//! The superstep executor: epochs, puts, delivery, counters.
+
+use crate::stats::{CommClass, CostModel, RunStats, StepStats};
+
+/// A message as it sits in a target rank's memory window.
+#[derive(Debug, Clone)]
+pub struct Envelope<M> {
+    /// Origin rank of the put.
+    pub src: usize,
+    /// Message class (for the Table 3 breakdown).
+    pub class: CommClass,
+    /// Payload.
+    pub payload: M,
+}
+
+/// The per-phase context handed to a rank: issue puts, report work.
+///
+/// Every `put` is one message, exactly as in the paper's counting (one
+/// `MPI_Put` per target per phase; piggybacked data rides in the same
+/// message at zero extra message cost but nonzero bytes).
+pub struct PhaseCtx<M> {
+    rank: usize,
+    outbox: Vec<(usize, Envelope<M>)>,
+    msgs: u64,
+    msgs_solve: u64,
+    msgs_residual: u64,
+    bytes: u64,
+    flops: u64,
+    relaxations: u64,
+    active: bool,
+}
+
+impl<M> PhaseCtx<M> {
+    fn new(rank: usize) -> Self {
+        PhaseCtx {
+            rank,
+            outbox: Vec::new(),
+            msgs: 0,
+            msgs_solve: 0,
+            msgs_residual: 0,
+            bytes: 0,
+            flops: 0,
+            relaxations: 0,
+            active: false,
+        }
+    }
+
+    /// The calling rank's id.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Constructor for alternate executors in this crate.
+    pub(crate) fn new_for_async(rank: usize) -> Self {
+        Self::new(rank)
+    }
+
+    /// Consumes the context, yielding the outbox and the message count
+    /// (alternate executors only track messages).
+    pub(crate) fn into_outbox_and_count(self) -> (Vec<(usize, Envelope<M>)>, u64) {
+        (self.outbox, self.msgs)
+    }
+
+    /// Puts `payload` into `target`'s window. Visible to `target` at the
+    /// next phase (after the epoch closes). `bytes` is the modelled payload
+    /// size used by the β term of the cost model.
+    pub fn put(&mut self, target: usize, class: CommClass, payload: M, bytes: u64) {
+        assert_ne!(target, self.rank, "a rank must not put to itself");
+        self.outbox.push((
+            target,
+            Envelope {
+                src: self.rank,
+                class,
+                payload,
+            },
+        ));
+        self.msgs += 1;
+        match class {
+            CommClass::Solve => self.msgs_solve += 1,
+            CommClass::Residual => self.msgs_residual += 1,
+        }
+        self.bytes += bytes;
+    }
+
+    /// Reports computational work for the γ term of the cost model.
+    #[inline]
+    pub fn add_flops(&mut self, flops: u64) {
+        self.flops += flops;
+    }
+
+    /// Reports that this rank relaxed `rows` of its equations this step
+    /// (feeds the "relaxations" and "active processes" columns of Table 2).
+    #[inline]
+    pub fn record_relaxations(&mut self, rows: u64) {
+        self.relaxations += rows;
+        self.active = true;
+    }
+}
+
+/// A per-rank program, written as phases of a parallel step.
+///
+/// Phase semantics: in phase `k` the rank sees exactly the messages that
+/// were put during phase `k − 1` (for `k = 0`: during the *last* phase of
+/// the previous parallel step). This is the one-sided epoch visibility rule.
+pub trait RankAlgorithm: Send {
+    /// Payload type of the messages this algorithm puts.
+    type Msg: Send + Sync + Clone;
+
+    /// Number of communication phases (epochs) per parallel step.
+    fn phases(&self) -> usize;
+
+    /// Executes one phase. `inbox` holds the envelopes delivered at the
+    /// close of the previous epoch, ordered by origin rank.
+    fn phase(&mut self, phase: usize, inbox: &[Envelope<Self::Msg>], ctx: &mut PhaseCtx<Self::Msg>);
+}
+
+/// How the executor schedules rank phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// All ranks run on the calling thread, in rank order.
+    Sequential,
+    /// Ranks are sharded over `n` crossbeam-scoped threads. Results are
+    /// bit-identical to [`ExecMode::Sequential`] because ranks interact
+    /// only at epoch boundaries, which the executor serializes.
+    Threaded(usize),
+}
+
+/// Fault injection: drop messages at the epoch boundary.
+///
+/// Real one-sided MPI guarantees delivery once the epoch closes; the
+/// solvers in this workspace *rely* on that (lost solve updates corrupt
+/// the receiver's maintained residual; lost explicit residual updates
+/// disable Distributed Southwell's deadlock avoidance). Chaos mode makes
+/// those failure modes observable and testable.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosConfig {
+    /// Probability that an eligible message is dropped, in `[0, 1]`.
+    pub drop_rate: f64,
+    /// Restrict dropping to one message class (`None` = any class).
+    pub drop_class: Option<CommClass>,
+    /// Seed of the deterministic drop sequence.
+    pub seed: u64,
+}
+
+impl ChaosConfig {
+    /// No faults.
+    pub fn none() -> Self {
+        ChaosConfig {
+            drop_rate: 0.0,
+            drop_class: None,
+            seed: 0,
+        }
+    }
+}
+
+/// A tiny deterministic PRNG (xorshift64*) so the substrate does not need
+/// a rand dependency for fault injection.
+#[derive(Debug, Clone)]
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        XorShift(seed.wrapping_mul(0x9e3779b97f4a7c15) | 1)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        (x.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Runs a set of [`RankAlgorithm`] instances in lock-step parallel steps.
+pub struct Executor<A: RankAlgorithm> {
+    ranks: Vec<A>,
+    /// Inboxes holding envelopes visible at the next phase.
+    inboxes: Vec<Vec<Envelope<A::Msg>>>,
+    model: CostModel,
+    mode: ExecMode,
+    chaos: ChaosConfig,
+    chaos_rng: XorShift,
+    /// Messages dropped by fault injection over the run.
+    pub msgs_dropped: u64,
+    /// Optional delivery log (see [`Executor::enable_trace`]).
+    pub trace: Option<crate::trace::Trace>,
+    steps_executed: usize,
+    /// Statistics accumulated over all executed steps.
+    pub stats: RunStats,
+}
+
+impl<A: RankAlgorithm> Executor<A> {
+    /// Creates an executor over `ranks` with the given cost model.
+    pub fn new(ranks: Vec<A>, model: CostModel, mode: ExecMode) -> Self {
+        Self::with_chaos(ranks, model, mode, ChaosConfig::none())
+    }
+
+    /// As [`new`](Self::new), with fault injection at epoch boundaries.
+    pub fn with_chaos(ranks: Vec<A>, model: CostModel, mode: ExecMode, chaos: ChaosConfig) -> Self {
+        assert!(!ranks.is_empty(), "need at least one rank");
+        assert!(
+            (0.0..=1.0).contains(&chaos.drop_rate),
+            "drop_rate must be a probability"
+        );
+        if let ExecMode::Threaded(n) = mode {
+            assert!(n > 0, "threaded mode needs at least one thread");
+        }
+        let n = ranks.len();
+        Executor {
+            ranks,
+            inboxes: (0..n).map(|_| Vec::new()).collect(),
+            model,
+            mode,
+            chaos_rng: XorShift::new(chaos.seed),
+            chaos,
+            msgs_dropped: 0,
+            trace: None,
+            steps_executed: 0,
+            stats: RunStats::new(n),
+        }
+    }
+
+    /// Starts logging every delivered message (up to `capacity` events)
+    /// into [`Executor::trace`].
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(crate::trace::Trace::new(capacity));
+    }
+
+    /// Number of ranks.
+    pub fn nranks(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Immutable access to the rank programs (for the harness to read
+    /// local solution vectors etc. — out-of-band, not counted as
+    /// communication, exactly like the paper's measurement hooks).
+    pub fn ranks(&self) -> &[A] {
+        &self.ranks
+    }
+
+    /// Mutable access to the rank programs.
+    pub fn ranks_mut(&mut self) -> &mut [A] {
+        &mut self.ranks
+    }
+
+    /// Executes one parallel step (all phases); returns its stats.
+    pub fn step(&mut self) -> StepStats {
+        let nphases = self.ranks[0].phases();
+        debug_assert!(
+            self.ranks.iter().all(|r| r.phases() == nphases),
+            "all ranks must agree on the phase count"
+        );
+        let mut step = StepStats::default();
+        for phase in 0..nphases {
+            let (outboxes, phase_stats) = self.run_phase(phase);
+            // Epoch close: deliver puts. Outboxes are concatenated in origin
+            // rank order, so delivery is deterministic regardless of mode.
+            for inbox in self.inboxes.iter_mut() {
+                inbox.clear();
+            }
+            for (origin, outbox) in outboxes.into_iter().enumerate() {
+                self.stats.msgs_per_rank[origin] += outbox.len() as u64;
+                for (target, env) in outbox {
+                    if self.chaos.drop_rate > 0.0
+                        && self.chaos.drop_class.map_or(true, |c| c == env.class)
+                        && self.chaos_rng.next_f64() < self.chaos.drop_rate
+                    {
+                        self.msgs_dropped += 1;
+                        continue;
+                    }
+                    if let Some(trace) = &mut self.trace {
+                        trace.record(crate::trace::TraceEvent {
+                            step: self.steps_executed,
+                            phase,
+                            src: env.src,
+                            dst: target,
+                            class: env.class,
+                        });
+                    }
+                    self.inboxes[target].push(env);
+                }
+            }
+            // Time: the slowest rank gates the computation; message and
+            // byte volume are charged at the per-rank average (congestion /
+            // epoch-overhead model — see `CostModel`).
+            let mut max_flops = 0u64;
+            let mut total_msgs = 0u64;
+            let mut total_bytes = 0u64;
+            for ps in &phase_stats {
+                max_flops = max_flops.max(ps.2);
+                total_msgs += ps.0;
+                total_bytes += ps.1;
+            }
+            let p = self.ranks.len() as f64;
+            step.time += self.model.sync
+                + self.model.gamma * max_flops as f64
+                + self.model.alpha * total_msgs as f64 / p
+                + self.model.beta * total_bytes as f64 / p;
+            for ps in &phase_stats {
+                step.msgs += ps.0;
+                step.bytes += ps.1;
+                step.flops += ps.2;
+                step.msgs_solve += ps.3;
+                step.msgs_residual += ps.4;
+                step.relaxations += ps.5;
+                step.active_ranks += u64::from(ps.6);
+            }
+        }
+        self.stats.steps.push(step);
+        self.steps_executed += 1;
+        step
+    }
+
+    /// Runs `phase` on every rank; returns outboxes and per-rank
+    /// `(msgs, bytes, flops, solve, residual, relaxations, active)`.
+    #[allow(clippy::type_complexity)]
+    fn run_phase(
+        &mut self,
+        phase: usize,
+    ) -> (
+        Vec<Vec<(usize, Envelope<A::Msg>)>>,
+        Vec<(u64, u64, u64, u64, u64, u64, bool)>,
+    ) {
+        let n = self.ranks.len();
+        let run_one = |rank_id: usize, rank: &mut A, inbox: &[Envelope<A::Msg>]| {
+            let mut ctx = PhaseCtx::new(rank_id);
+            rank.phase(phase, inbox, &mut ctx);
+            let stats = (
+                ctx.msgs,
+                ctx.bytes,
+                ctx.flops,
+                ctx.msgs_solve,
+                ctx.msgs_residual,
+                ctx.relaxations,
+                ctx.active,
+            );
+            (ctx.outbox, stats)
+        };
+
+        match self.mode {
+            ExecMode::Sequential => {
+                let mut outboxes = Vec::with_capacity(n);
+                let mut stats = Vec::with_capacity(n);
+                for (i, (rank, inbox)) in self.ranks.iter_mut().zip(&self.inboxes).enumerate() {
+                    let (o, s) = run_one(i, rank, inbox);
+                    outboxes.push(o);
+                    stats.push(s);
+                }
+                (outboxes, stats)
+            }
+            ExecMode::Threaded(nthreads) => {
+                let nthreads = nthreads.min(n);
+                let chunk = n.div_ceil(nthreads);
+                let mut results: Vec<
+                    Option<(Vec<(usize, Envelope<A::Msg>)>, (u64, u64, u64, u64, u64, u64, bool))>,
+                > = (0..n).map(|_| None).collect();
+                let ranks = &mut self.ranks;
+                let inboxes = &self.inboxes;
+                crossbeam::thread::scope(|scope| {
+                    let mut rank_chunks = ranks.chunks_mut(chunk);
+                    let mut inbox_chunks = inboxes.chunks(chunk);
+                    let mut result_chunks = results.chunks_mut(chunk);
+                    let mut base = 0usize;
+                    for _ in 0..nthreads {
+                        let (Some(rc), Some(ic), Some(out)) = (
+                            rank_chunks.next(),
+                            inbox_chunks.next(),
+                            result_chunks.next(),
+                        ) else {
+                            break;
+                        };
+                        let start = base;
+                        base += rc.len();
+                        scope.spawn(move |_| {
+                            for (k, (rank, inbox)) in rc.iter_mut().zip(ic).enumerate() {
+                                let mut ctx = PhaseCtx::new(start + k);
+                                rank.phase(phase, inbox, &mut ctx);
+                                out[k] = Some((
+                                    ctx.outbox,
+                                    (
+                                        ctx.msgs,
+                                        ctx.bytes,
+                                        ctx.flops,
+                                        ctx.msgs_solve,
+                                        ctx.msgs_residual,
+                                        ctx.relaxations,
+                                        ctx.active,
+                                    ),
+                                ));
+                            }
+                        });
+                    }
+                })
+                .expect("superstep worker panicked");
+                let mut outboxes = Vec::with_capacity(n);
+                let mut stats = Vec::with_capacity(n);
+                for r in results {
+                    let (o, s) = r.expect("every rank executed");
+                    outboxes.push(o);
+                    stats.push(s);
+                }
+                (outboxes, stats)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy algorithm on a ring: each rank holds a value; every step it puts
+    /// the value to its right neighbor in phase 0 and adds what it received
+    /// (visible in phase 0 of the *next* step, per the epoch rule).
+    struct Ring {
+        id: usize,
+        n: usize,
+        value: u64,
+        received_this_phase: Vec<u64>,
+    }
+
+    impl RankAlgorithm for Ring {
+        type Msg = u64;
+        fn phases(&self) -> usize {
+            1
+        }
+        fn phase(&mut self, _phase: usize, inbox: &[Envelope<u64>], ctx: &mut PhaseCtx<u64>) {
+            self.received_this_phase = inbox.iter().map(|e| e.payload).collect();
+            for e in inbox {
+                self.value += e.payload;
+            }
+            let target = (self.id + 1) % self.n;
+            ctx.put(target, CommClass::Solve, self.value, 8);
+            ctx.add_flops(1);
+            ctx.record_relaxations(1);
+        }
+    }
+
+    fn ring(n: usize) -> Vec<Ring> {
+        (0..n)
+            .map(|id| Ring {
+                id,
+                n,
+                value: id as u64 + 1,
+                received_this_phase: Vec::new(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn messages_delivered_next_phase_not_same() {
+        let mut ex = Executor::new(ring(3), CostModel::default(), ExecMode::Sequential);
+        let s1 = ex.step();
+        // Nothing was in flight during the first step's phase 0.
+        assert!(ex.ranks()[0].received_this_phase.is_empty());
+        assert_eq!(s1.msgs, 3);
+        let _s2 = ex.step();
+        // Now each rank saw exactly the value its left neighbor sent.
+        assert_eq!(ex.ranks()[1].received_this_phase, vec![1]);
+        assert_eq!(ex.ranks()[0].received_this_phase, vec![3]);
+    }
+
+    #[test]
+    fn sequential_and_threaded_agree() {
+        let mut a = Executor::new(ring(7), CostModel::default(), ExecMode::Sequential);
+        let mut b = Executor::new(ring(7), CostModel::default(), ExecMode::Threaded(3));
+        for _ in 0..5 {
+            a.step();
+            b.step();
+        }
+        let va: Vec<u64> = a.ranks().iter().map(|r| r.value).collect();
+        let vb: Vec<u64> = b.ranks().iter().map(|r| r.value).collect();
+        assert_eq!(va, vb);
+        assert_eq!(a.stats.total_msgs(), b.stats.total_msgs());
+        assert_eq!(a.stats.msgs_per_rank, b.stats.msgs_per_rank);
+    }
+
+    #[test]
+    fn counters_and_cost_model() {
+        let model = CostModel {
+            alpha: 1.0,
+            beta: 0.0,
+            gamma: 0.0,
+            sync: 0.5,
+        };
+        let mut ex = Executor::new(ring(4), model, ExecMode::Sequential);
+        let s = ex.step();
+        assert_eq!(s.msgs, 4);
+        assert_eq!(s.msgs_solve, 4);
+        assert_eq!(s.msgs_residual, 0);
+        assert_eq!(s.bytes, 32);
+        assert_eq!(s.flops, 4);
+        assert_eq!(s.active_ranks, 4);
+        assert_eq!(s.relaxations, 4);
+        // Each rank sends one message: max over ranks = 1 message * alpha,
+        // plus the sync charge.
+        assert!((s.time - 1.5).abs() < 1e-12);
+        assert!((ex.stats.comm_cost() - 1.0).abs() < 1e-12);
+    }
+
+    /// Two-phase algorithm verifying that phase-1 messages arrive in
+    /// phase 0 of the next step and phase-0 messages arrive in phase 1.
+    struct TwoPhase {
+        id: usize,
+        log: Vec<(usize, Vec<u64>)>,
+    }
+
+    impl RankAlgorithm for TwoPhase {
+        type Msg = u64;
+        fn phases(&self) -> usize {
+            2
+        }
+        fn phase(&mut self, phase: usize, inbox: &[Envelope<u64>], ctx: &mut PhaseCtx<u64>) {
+            self.log
+                .push((phase, inbox.iter().map(|e| e.payload).collect()));
+            let peer = 1 - self.id;
+            // Tag the message with 10*phase so the receiver can tell which
+            // phase it was sent in.
+            ctx.put(peer, CommClass::Residual, (10 * phase) as u64, 8);
+        }
+    }
+
+    #[test]
+    fn two_phase_visibility() {
+        let ranks = vec![
+            TwoPhase { id: 0, log: vec![] },
+            TwoPhase { id: 1, log: vec![] },
+        ];
+        let mut ex = Executor::new(ranks, CostModel::default(), ExecMode::Sequential);
+        ex.step();
+        ex.step();
+        let log = &ex.ranks()[0].log;
+        // Step 1: phase 0 sees nothing; phase 1 sees the phase-0 put (0).
+        assert_eq!(log[0], (0, vec![]));
+        assert_eq!(log[1], (1, vec![0]));
+        // Step 2: phase 0 sees the phase-1 put (10) of step 1.
+        assert_eq!(log[2], (0, vec![10]));
+        assert_eq!(log[3], (1, vec![0]));
+        assert_eq!(ex.stats.total_msgs_residual(), 8);
+    }
+
+    #[test]
+    fn trace_records_deliveries() {
+        let mut ex = Executor::new(ring(3), CostModel::default(), ExecMode::Sequential);
+        ex.enable_trace(100);
+        ex.step();
+        ex.step();
+        let trace = ex.trace.as_ref().unwrap();
+        // First step's puts are delivered at its epoch close (3 events),
+        // second step likewise.
+        assert_eq!(trace.len(), 6);
+        let m = trace.traffic_matrix(3);
+        assert_eq!(m[0][1], 2);
+        assert_eq!(m[2][0], 2);
+        assert_eq!(m[0][2], 0);
+        assert!(trace.to_csv().contains("0,0,0,1,Solve"));
+    }
+
+    #[test]
+    #[should_panic(expected = "must not put to itself")]
+    fn self_put_panics() {
+        struct SelfPut;
+        impl RankAlgorithm for SelfPut {
+            type Msg = ();
+            fn phases(&self) -> usize {
+                1
+            }
+            fn phase(&mut self, _p: usize, _i: &[Envelope<()>], ctx: &mut PhaseCtx<()>) {
+                ctx.put(0, CommClass::Solve, (), 0);
+            }
+        }
+        let mut ex = Executor::new(vec![SelfPut], CostModel::default(), ExecMode::Sequential);
+        ex.step();
+    }
+
+    #[test]
+    fn inbox_ordered_by_origin_rank() {
+        // Every rank sends to rank 0 in one phase; rank 0 must see origins
+        // in increasing order both sequentially and threaded.
+        struct AllToZero {
+            id: usize,
+            seen: Vec<usize>,
+        }
+        impl RankAlgorithm for AllToZero {
+            type Msg = ();
+            fn phases(&self) -> usize {
+                1
+            }
+            fn phase(&mut self, _p: usize, inbox: &[Envelope<()>], ctx: &mut PhaseCtx<()>) {
+                if self.id == 0 {
+                    self.seen = inbox.iter().map(|e| e.src).collect();
+                } else {
+                    ctx.put(0, CommClass::Solve, (), 1);
+                }
+            }
+        }
+        for mode in [ExecMode::Sequential, ExecMode::Threaded(4)] {
+            let ranks: Vec<AllToZero> = (0..9).map(|id| AllToZero { id, seen: vec![] }).collect();
+            let mut ex = Executor::new(ranks, CostModel::default(), mode);
+            ex.step();
+            ex.step();
+            assert_eq!(ex.ranks()[0].seen, (1..9).collect::<Vec<_>>());
+        }
+    }
+}

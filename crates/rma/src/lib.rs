@@ -1,0 +1,40 @@
+//! A simulated one-sided RMA substrate.
+//!
+//! The paper implements its solvers with MPI-3 one-sided semantics: each
+//! process exposes a *memory window*; during an *access epoch*
+//! (`MPI_Win_post/start … MPI_Win_complete/wait`) origin processes `MPI_Put`
+//! data into target windows, and the data is guaranteed visible only after
+//! the epoch closes. Algorithms 1–3 of the paper are therefore structured as
+//! *parallel steps*, each containing one or two communication epochs with
+//! computation between them.
+//!
+//! This crate reproduces those semantics exactly, without real MPI:
+//!
+//! * a [`RankAlgorithm`] implements the per-process program as a sequence of
+//!   *phases* per parallel step; puts issued during phase `k` are delivered
+//!   into target inboxes *after* phase `k` completes (the epoch close), and
+//!   are read by targets in phase `k + 1` — never earlier, which is the
+//!   one-sided visibility rule;
+//! * the [`Executor`] runs all ranks phase-by-phase, either sequentially or
+//!   on a crossbeam thread pool ([`ExecMode`]); both modes produce
+//!   bit-identical results because ranks only interact through the epoch
+//!   boundary;
+//! * every put is counted, per rank and per [`CommClass`] — message counts
+//!   are the paper's primary communication metric ("total number of
+//!   messages sent by all processes divided by the number of processes")
+//!   and Table 3 splits them into solve vs. explicit-residual classes;
+//! * wall-clock time is *modelled* with an α–β–γ [`CostModel`] (latency per
+//!   message, inverse bandwidth per byte, time per flop, plus a per-epoch
+//!   synchronization charge), since the simulator is not a supercomputer.
+//!   Per phase the charge is `max` over ranks — ranks progress together
+//!   through epochs, so the slowest rank gates each phase.
+
+pub mod async_exec;
+pub mod executor;
+pub mod stats;
+pub mod trace;
+
+pub use async_exec::{AsyncExecutor, AsyncOptions};
+pub use executor::{ChaosConfig, Envelope, ExecMode, Executor, PhaseCtx, RankAlgorithm};
+pub use stats::{CommClass, CostModel, RunStats, StepStats};
+pub use trace::{Trace, TraceEvent};

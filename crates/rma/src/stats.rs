@@ -1,0 +1,200 @@
+//! Communication statistics and the modelled time.
+
+/// Classification of a message, mirroring Table 3 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CommClass {
+    /// Updates sent to neighbors after a local subdomain solve
+    /// ("Solve comm" in Table 3); piggybacked residual norms ride free.
+    Solve,
+    /// Explicit residual-norm updates ("Res comm" in Table 3): the messages
+    /// Parallel Southwell sends whenever its residual changed, and the
+    /// deadlock-avoidance messages of Distributed Southwell.
+    Residual,
+}
+
+/// α–β–γ communication/computation cost model.
+///
+/// The modelled time of one phase is
+///
+/// ```text
+/// sync + gamma·max_p(flops_p) + alpha·(Σ msgs / P) + beta·(Σ bytes / P)
+/// ```
+///
+/// and a parallel step is the sum of its phases. Computation is charged at
+/// the slowest rank (it is genuinely parallel), while messages are charged
+/// on the *average per-rank volume*: at scale, one-sided epoch overheads,
+/// progress-engine time, and network contention make the measured
+/// time-per-step track the mean message count per rank — exactly the
+/// proportionality visible in the paper's Table 4 (BJ ≈ PS > DS per step,
+/// in the same ratios as their message counts). Defaults: 20 µs effective
+/// per message (RMA epoch + progress cost on a Cori-class system),
+/// 2 ns/byte, 1 Gflop/s per core, 10 µs per epoch synchronization.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// Seconds per message (effective one-sided latency + epoch share).
+    pub alpha: f64,
+    /// Seconds per byte (inverse effective bandwidth).
+    pub beta: f64,
+    /// Seconds per floating-point operation.
+    pub gamma: f64,
+    /// Seconds per epoch (post/start/complete/wait synchronization).
+    pub sync: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            alpha: 2.0e-5,
+            beta: 2.0e-9,
+            gamma: 1.0e-9,
+            sync: 1.0e-5,
+        }
+    }
+}
+
+/// Per-parallel-step statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StepStats {
+    /// Messages sent by all ranks this step.
+    pub msgs: u64,
+    /// ... of class [`CommClass::Solve`].
+    pub msgs_solve: u64,
+    /// ... of class [`CommClass::Residual`].
+    pub msgs_residual: u64,
+    /// Payload bytes sent by all ranks.
+    pub bytes: u64,
+    /// Flops reported by all ranks.
+    pub flops: u64,
+    /// Ranks that reported at least one relaxation.
+    pub active_ranks: u64,
+    /// Row relaxations reported by all ranks.
+    pub relaxations: u64,
+    /// Modelled wall-clock seconds of the step.
+    pub time: f64,
+}
+
+/// Accumulated statistics for a run.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// One entry per executed parallel step.
+    pub steps: Vec<StepStats>,
+    /// Messages sent per rank over the whole run.
+    pub msgs_per_rank: Vec<u64>,
+}
+
+impl RunStats {
+    /// Creates stats for `nranks` ranks.
+    pub fn new(nranks: usize) -> Self {
+        RunStats {
+            steps: Vec::new(),
+            msgs_per_rank: vec![0; nranks],
+        }
+    }
+
+    /// Number of executed parallel steps.
+    pub fn nsteps(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Total messages over all steps.
+    pub fn total_msgs(&self) -> u64 {
+        self.steps.iter().map(|s| s.msgs).sum()
+    }
+
+    /// Total solve-class messages.
+    pub fn total_msgs_solve(&self) -> u64 {
+        self.steps.iter().map(|s| s.msgs_solve).sum()
+    }
+
+    /// Total residual-class messages.
+    pub fn total_msgs_residual(&self) -> u64 {
+        self.steps.iter().map(|s| s.msgs_residual).sum()
+    }
+
+    /// The paper's "communication cost": total messages / number of ranks.
+    pub fn comm_cost(&self) -> f64 {
+        self.total_msgs() as f64 / self.msgs_per_rank.len() as f64
+    }
+
+    /// Solve-class communication cost (Table 3, "Solve comm").
+    pub fn comm_cost_solve(&self) -> f64 {
+        self.total_msgs_solve() as f64 / self.msgs_per_rank.len() as f64
+    }
+
+    /// Residual-class communication cost (Table 3, "Res comm").
+    pub fn comm_cost_residual(&self) -> f64 {
+        self.total_msgs_residual() as f64 / self.msgs_per_rank.len() as f64
+    }
+
+    /// Total modelled time.
+    pub fn total_time(&self) -> f64 {
+        self.steps.iter().map(|s| s.time).sum()
+    }
+
+    /// Total relaxations.
+    pub fn total_relaxations(&self) -> u64 {
+        self.steps.iter().map(|s| s.relaxations).sum()
+    }
+
+    /// Mean fraction of ranks active per step (the paper's
+    /// "active processes").
+    pub fn mean_active_fraction(&self) -> f64 {
+        if self.steps.is_empty() {
+            return 0.0;
+        }
+        let p = self.msgs_per_rank.len() as f64;
+        self.steps
+            .iter()
+            .map(|s| s.active_ranks as f64 / p)
+            .sum::<f64>()
+            / self.steps.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_stats_aggregation() {
+        let mut rs = RunStats::new(4);
+        rs.steps.push(StepStats {
+            msgs: 8,
+            msgs_solve: 6,
+            msgs_residual: 2,
+            bytes: 100,
+            flops: 50,
+            active_ranks: 2,
+            relaxations: 20,
+            time: 0.5,
+        });
+        rs.steps.push(StepStats {
+            msgs: 4,
+            msgs_solve: 2,
+            msgs_residual: 2,
+            bytes: 40,
+            flops: 10,
+            active_ranks: 4,
+            relaxations: 40,
+            time: 0.25,
+        });
+        assert_eq!(rs.nsteps(), 2);
+        assert_eq!(rs.total_msgs(), 12);
+        assert_eq!(rs.total_msgs_solve(), 8);
+        assert_eq!(rs.total_msgs_residual(), 4);
+        assert!((rs.comm_cost() - 3.0).abs() < 1e-15);
+        assert!((rs.comm_cost_solve() - 2.0).abs() < 1e-15);
+        assert!((rs.comm_cost_residual() - 1.0).abs() < 1e-15);
+        assert!((rs.total_time() - 0.75).abs() < 1e-15);
+        assert_eq!(rs.total_relaxations(), 60);
+        assert!((rs.mean_active_fraction() - 0.75).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empty_run_stats() {
+        let rs = RunStats::new(2);
+        assert_eq!(rs.total_msgs(), 0);
+        assert_eq!(rs.mean_active_fraction(), 0.0);
+        assert_eq!(rs.total_time(), 0.0);
+    }
+}

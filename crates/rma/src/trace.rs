@@ -1,0 +1,138 @@
+//! Message tracing: a bounded event log of every delivered put, for
+//! debugging protocols and for visualizing communication patterns (who
+//! talks to whom, in which phase, with what class).
+
+use crate::stats::CommClass;
+
+/// One delivered message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Parallel step index (0-based).
+    pub step: usize,
+    /// Phase within the step.
+    pub phase: usize,
+    /// Origin rank.
+    pub src: usize,
+    /// Target rank.
+    pub dst: usize,
+    /// Message class.
+    pub class: CommClass,
+}
+
+/// A bounded in-memory message log.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    /// Events that arrived after the log filled up.
+    pub overflowed: u64,
+}
+
+impl Trace {
+    /// Creates a trace keeping at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Trace {
+            events: Vec::new(),
+            capacity,
+            overflowed: 0,
+        }
+    }
+
+    /// Records one event (drops it if the log is full).
+    pub fn record(&mut self, ev: TraceEvent) {
+        if self.events.len() < self.capacity {
+            self.events.push(ev);
+        } else {
+            self.overflowed += 1;
+        }
+    }
+
+    /// All recorded events, in delivery order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The dense `P × P` message-count matrix (`[src][dst]`) over the
+    /// recorded events.
+    pub fn traffic_matrix(&self, nranks: usize) -> Vec<Vec<u64>> {
+        let mut m = vec![vec![0u64; nranks]; nranks];
+        for ev in &self.events {
+            m[ev.src][ev.dst] += 1;
+        }
+        m
+    }
+
+    /// Events of one class.
+    pub fn count_class(&self, class: CommClass) -> usize {
+        self.events.iter().filter(|e| e.class == class).count()
+    }
+
+    /// Renders the log as CSV (`step,phase,src,dst,class`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("step,phase,src,dst,class\n");
+        for e in &self.events {
+            out.push_str(&format!(
+                "{},{},{},{},{:?}\n",
+                e.step, e.phase, e.src, e.dst, e.class
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(step: usize, src: usize, dst: usize, class: CommClass) -> TraceEvent {
+        TraceEvent {
+            step,
+            phase: 0,
+            src,
+            dst,
+            class,
+        }
+    }
+
+    #[test]
+    fn records_until_capacity() {
+        let mut t = Trace::new(2);
+        t.record(ev(0, 0, 1, CommClass::Solve));
+        t.record(ev(0, 1, 0, CommClass::Solve));
+        t.record(ev(1, 0, 1, CommClass::Residual));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.overflowed, 1);
+    }
+
+    #[test]
+    fn traffic_matrix_counts() {
+        let mut t = Trace::new(100);
+        t.record(ev(0, 0, 1, CommClass::Solve));
+        t.record(ev(0, 0, 1, CommClass::Solve));
+        t.record(ev(0, 1, 2, CommClass::Residual));
+        let m = t.traffic_matrix(3);
+        assert_eq!(m[0][1], 2);
+        assert_eq!(m[1][2], 1);
+        assert_eq!(m[2][0], 0);
+        assert_eq!(t.count_class(CommClass::Residual), 1);
+    }
+
+    #[test]
+    fn csv_shape() {
+        let mut t = Trace::new(10);
+        t.record(ev(3, 1, 2, CommClass::Solve));
+        let csv = t.to_csv();
+        assert!(csv.starts_with("step,phase,src,dst,class\n"));
+        assert!(csv.contains("3,0,1,2,Solve"));
+    }
+}

@@ -1,0 +1,118 @@
+//! Finite-difference Poisson matrices on regular grids.
+
+use crate::{CooBuilder, CsrMatrix};
+
+/// 5-point centered-difference discretization of `-Δu = f` on an
+/// `nx × ny` grid of *interior* unknowns (homogeneous Dirichlet boundary),
+/// lexicographic ordering. Diagonal 4, off-diagonals −1.
+///
+/// This is the multigrid model problem of §4.1 and the default problem of
+/// the paper's artifact.
+pub fn grid2d_poisson(nx: usize, ny: usize) -> CsrMatrix {
+    anisotropic2d(nx, ny, 1.0)
+}
+
+/// Anisotropic 5-point operator: coupling −1 in x and −eps in y,
+/// diagonal `2 + 2·eps`. `eps = 1` recovers [`grid2d_poisson`].
+pub fn anisotropic2d(nx: usize, ny: usize, eps: f64) -> CsrMatrix {
+    assert!(nx > 0 && ny > 0, "empty grid");
+    let n = nx * ny;
+    let idx = |i: usize, j: usize| j * nx + i;
+    let mut b = CooBuilder::with_capacity(n, n, 5 * n);
+    for j in 0..ny {
+        for i in 0..nx {
+            let me = idx(i, j);
+            b.push(me, me, 2.0 + 2.0 * eps);
+            if i + 1 < nx {
+                b.push_sym(me, idx(i + 1, j), -1.0);
+            }
+            if j + 1 < ny {
+                b.push_sym(me, idx(i, j + 1), -eps);
+            }
+        }
+    }
+    b.build().expect("grid generator produces valid CSR")
+}
+
+/// 7-point discretization of the 3D Poisson equation on an
+/// `nx × ny × nz` grid of interior unknowns. Diagonal 6, off-diagonals −1.
+pub fn grid3d_poisson(nx: usize, ny: usize, nz: usize) -> CsrMatrix {
+    assert!(nx > 0 && ny > 0 && nz > 0, "empty grid");
+    let n = nx * ny * nz;
+    let idx = |i: usize, j: usize, k: usize| (k * ny + j) * nx + i;
+    let mut b = CooBuilder::with_capacity(n, n, 7 * n);
+    for k in 0..nz {
+        for j in 0..ny {
+            for i in 0..nx {
+                let me = idx(i, j, k);
+                b.push(me, me, 6.0);
+                if i + 1 < nx {
+                    b.push_sym(me, idx(i + 1, j, k), -1.0);
+                }
+                if j + 1 < ny {
+                    b.push_sym(me, idx(i, j + 1, k), -1.0);
+                }
+                if k + 1 < nz {
+                    b.push_sym(me, idx(i, j, k + 1), -1.0);
+                }
+            }
+        }
+    }
+    b.build().expect("grid generator produces valid CSR")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::Cholesky;
+
+    #[test]
+    fn poisson2d_structure() {
+        let a = grid2d_poisson(3, 3);
+        assert_eq!(a.nrows(), 9);
+        // Interior point (1,1) = row 4 has 5 nonzeros.
+        assert_eq!(a.row_cols(4).len(), 5);
+        assert_eq!(a.get(4, 4), 4.0);
+        assert_eq!(a.get(4, 3), -1.0);
+        assert_eq!(a.get(4, 1), -1.0);
+        // Corner has 3.
+        assert_eq!(a.row_cols(0).len(), 3);
+        assert!(a.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn poisson2d_is_spd() {
+        let a = grid2d_poisson(5, 4);
+        assert!(Cholesky::factor_csr(&a).is_ok());
+    }
+
+    #[test]
+    fn poisson3d_structure() {
+        let a = grid3d_poisson(3, 3, 3);
+        assert_eq!(a.nrows(), 27);
+        // Center point has 7 nonzeros.
+        let center = (1 * 3 + 1) * 3 + 1;
+        assert_eq!(a.row_cols(center).len(), 7);
+        assert_eq!(a.get(center, center), 6.0);
+        assert!(a.is_symmetric(0.0));
+        assert!(Cholesky::factor_csr(&a).is_ok());
+    }
+
+    #[test]
+    fn anisotropic_coupling() {
+        let a = anisotropic2d(3, 3, 0.1);
+        assert!((a.get(4, 4) - 2.2).abs() < 1e-15);
+        assert_eq!(a.get(4, 3), -1.0); // x neighbor
+        assert!((a.get(4, 1) + 0.1).abs() < 1e-15); // y neighbor
+        assert!(Cholesky::factor_csr(&a).is_ok());
+    }
+
+    #[test]
+    fn no_wraparound_coupling() {
+        // Row at the right edge of one grid line must not couple to the
+        // leftmost point of the next line.
+        let a = grid2d_poisson(4, 2);
+        assert_eq!(a.get(3, 4), 0.0);
+        assert_eq!(a.get(4, 3), 0.0);
+    }
+}

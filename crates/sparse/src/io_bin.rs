@@ -1,0 +1,167 @@
+//! Binary CSR serialization — the `.mtx.bin` format of the paper's
+//! artifact ("binary files containing SuiteSparse matrices"), so large
+//! inputs load without ASCII parsing.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic  b"DSWB"            4 bytes
+//! version u32               (currently 1)
+//! nrows  u64
+//! ncols  u64
+//! nnz    u64
+//! row_ptr (nrows + 1) × u64
+//! col_idx nnz × u64
+//! values  nnz × f64
+//! ```
+
+use crate::{CsrMatrix, Result, SparseError};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"DSWB";
+const VERSION: u32 = 1;
+
+fn write_u64<W: Write>(w: &mut W, v: u64) -> Result<()> {
+    w.write_all(&v.to_le_bytes())?;
+    Ok(())
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+/// Writes a matrix in the binary format.
+pub fn write_bin<W: Write>(a: &CsrMatrix, writer: W) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    write_u64(&mut w, a.nrows() as u64)?;
+    write_u64(&mut w, a.ncols() as u64)?;
+    write_u64(&mut w, a.nnz() as u64)?;
+    for &p in a.row_ptr() {
+        write_u64(&mut w, p as u64)?;
+    }
+    for &c in a.col_idx() {
+        write_u64(&mut w, c as u64)?;
+    }
+    for &v in a.values() {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a matrix in the binary format, validating the header and the CSR
+/// invariants.
+pub fn read_bin<R: Read>(reader: R) -> Result<CsrMatrix> {
+    let mut r = BufReader::new(reader);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(SparseError::Parse("not a DSWB binary matrix".into()));
+    }
+    let mut vbuf = [0u8; 4];
+    r.read_exact(&mut vbuf)?;
+    let version = u32::from_le_bytes(vbuf);
+    if version != VERSION {
+        return Err(SparseError::Parse(format!(
+            "unsupported DSWB version {version}"
+        )));
+    }
+    let nrows = read_u64(&mut r)? as usize;
+    let ncols = read_u64(&mut r)? as usize;
+    let nnz = read_u64(&mut r)? as usize;
+    // Guard against absurd headers before allocating.
+    const LIMIT: usize = 1 << 33;
+    if nrows >= LIMIT || ncols >= LIMIT || nnz >= LIMIT {
+        return Err(SparseError::Parse("header dimensions implausibly large".into()));
+    }
+    let mut row_ptr = Vec::with_capacity(nrows + 1);
+    for _ in 0..=nrows {
+        row_ptr.push(read_u64(&mut r)? as usize);
+    }
+    let mut col_idx = Vec::with_capacity(nnz);
+    for _ in 0..nnz {
+        col_idx.push(read_u64(&mut r)? as usize);
+    }
+    let mut values = Vec::with_capacity(nnz);
+    let mut fbuf = [0u8; 8];
+    for _ in 0..nnz {
+        r.read_exact(&mut fbuf)?;
+        values.push(f64::from_le_bytes(fbuf));
+    }
+    CsrMatrix::from_parts(nrows, ncols, row_ptr, col_idx, values)
+}
+
+/// Writes the binary format to a file.
+pub fn write_bin_file<P: AsRef<Path>>(a: &CsrMatrix, path: P) -> Result<()> {
+    write_bin(a, std::fs::File::create(path)?)
+}
+
+/// Reads the binary format from a file.
+pub fn read_bin_file<P: AsRef<Path>>(path: P) -> Result<CsrMatrix> {
+    read_bin(std::fs::File::open(path)?)
+}
+
+/// Loads a matrix by extension: `.bin` / `.mtx.bin` binary, anything else
+/// Matrix Market (the artifact's loading rule).
+pub fn read_matrix_auto<P: AsRef<Path>>(path: P) -> Result<CsrMatrix> {
+    let p = path.as_ref();
+    if p.extension().and_then(|e| e.to_str()) == Some("bin") {
+        read_bin_file(p)
+    } else {
+        crate::io::read_matrix_market_file(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn binary_roundtrip() {
+        let a = gen::grid2d_poisson(7, 5);
+        let mut buf = Vec::new();
+        write_bin(&a, &mut buf).unwrap();
+        let b = read_bin(&buf[..]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        assert!(matches!(
+            read_bin(&b"XXXX"[..]),
+            Err(SparseError::Parse(_)) | Err(SparseError::Io(_))
+        ));
+        let mut buf = Vec::new();
+        write_bin(&gen::grid2d_poisson(2, 2), &mut buf).unwrap();
+        buf[4] = 9; // version
+        assert!(matches!(read_bin(&buf[..]), Err(SparseError::Parse(_))));
+    }
+
+    #[test]
+    fn rejects_truncated_payload() {
+        let mut buf = Vec::new();
+        write_bin(&gen::grid2d_poisson(4, 4), &mut buf).unwrap();
+        buf.truncate(buf.len() - 9);
+        assert!(read_bin(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn auto_loader_dispatches_on_extension() {
+        let a = gen::grid2d_poisson(3, 3);
+        let dir = std::env::temp_dir();
+        let binp = dir.join("dsw_auto_test.mtx.bin");
+        let mtxp = dir.join("dsw_auto_test.mtx");
+        write_bin_file(&a, &binp).unwrap();
+        crate::io::write_matrix_market_file(&a, &mtxp).unwrap();
+        assert_eq!(read_matrix_auto(&binp).unwrap(), a);
+        assert_eq!(read_matrix_auto(&mtxp).unwrap(), a);
+        let _ = std::fs::remove_file(binp);
+        let _ = std::fs::remove_file(mtxp);
+    }
+}

@@ -1,0 +1,77 @@
+//! Asynchronous progress demo: run Distributed Southwell with ranks
+//! advancing at different speeds (the regime the paper's Casper-based RMA
+//! implementation actually executes in) and compare against lock-step
+//! supersteps.
+//!
+//! ```text
+//! cargo run --release --example async_progress
+//! ```
+
+use distributed_southwell::core::dist::{distribute, DistributedSouthwellRank};
+use distributed_southwell::partition::{partition_multilevel, Graph, MultilevelOptions};
+use distributed_southwell::rma::{
+    AsyncExecutor, AsyncOptions, CostModel, ExecMode, Executor,
+};
+use distributed_southwell::sparse::{gen, vecops};
+
+fn main() {
+    let mut a = gen::grid2d_poisson(32, 32);
+    a.scale_unit_diagonal().unwrap();
+    let n = a.nrows();
+    let b = vec![0.0; n];
+    let mut x0 = gen::random_guess(n, 17);
+    let s = 1.0 / vecops::norm2(&a.residual(&b, &x0));
+    x0.iter_mut().for_each(|v| *v *= s);
+    let part = partition_multilevel(&Graph::from_matrix(&a), 16, MultilevelOptions::default());
+    let locals = distribute(&a, &b, &x0, &part).unwrap();
+    let norms: Vec<f64> = locals.iter().map(|l| l.residual_norm_sq()).collect();
+    let r0 = a.residual(&b, &x0);
+
+    let residual = |xs: Vec<f64>| vecops::norm2(&a.residual(&b, &xs));
+    let gather = |ranks: &[DistributedSouthwellRank]| {
+        let mut x = vec![0.0; n];
+        for r in ranks {
+            for (li, &g) in r.ls.rows.iter().enumerate() {
+                x[g] = r.ls.x[li];
+            }
+        }
+        x
+    };
+
+    // Lock-step supersteps: 60 parallel steps.
+    let mut sync_ex = Executor::new(
+        DistributedSouthwellRank::build(locals.clone(), &norms, &r0),
+        CostModel::default(),
+        ExecMode::Sequential,
+    );
+    for _ in 0..60 {
+        sync_ex.step();
+    }
+    println!(
+        "lock-step: 60 steps, ‖r‖ = {:.4e}, {:.1} msgs/rank",
+        residual(gather(sync_ex.ranks())),
+        sync_ex.stats.comm_cost()
+    );
+
+    // Asynchronous: ranks advance with probability 0.6 per tick, at most
+    // 6 phases apart. Run until everyone completed 60 logical steps.
+    for (prob, lag) in [(0.9, 2), (0.6, 6), (0.3, 10)] {
+        let mut ex = AsyncExecutor::new(
+            DistributedSouthwellRank::build(locals.clone(), &norms, &r0),
+            AsyncOptions {
+                advance_probability: prob,
+                max_lag: lag,
+                seed: 3,
+            },
+        );
+        let ticks = ex.run_steps(60, 100_000);
+        println!(
+            "async p={prob:.1} lag≤{lag:<2}: {ticks} ticks, ‖r‖ = {:.4e}, {:.1} msgs/rank",
+            residual(gather(ex.ranks())),
+            ex.stats.comm_cost()
+        );
+    }
+    println!("\nThe method's neighbor data are estimates by design, so staleness");
+    println!("from uneven progress degrades convergence only mildly — the property");
+    println!("that lets the paper run it on asynchronous one-sided MPI.");
+}

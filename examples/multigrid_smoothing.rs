@@ -1,0 +1,39 @@
+//! Multigrid smoothing demo (the experiment behind Figure 6): V-cycles on
+//! the 2D Poisson problem with Gauss–Seidel and Distributed Southwell
+//! smoothers, showing grid-size-independent convergence and the
+//! per-relaxation efficiency of the Southwell smoother — even at half a
+//! sweep.
+//!
+//! ```text
+//! cargo run --release --example multigrid_smoothing
+//! ```
+
+use distributed_southwell::multigrid::{Multigrid, Smoother};
+use distributed_southwell::sparse::gen;
+
+fn main() {
+    println!("relative residual after 9 V(1,1)-cycles, 2D Poisson:");
+    println!(
+        "{:<10} {:>16} {:>20} {:>18}",
+        "grid", "GS 1 sweep", "DistSW 1/2 sweep", "DistSW 1 sweep"
+    );
+    for dim in [15usize, 31, 63, 127] {
+        let n = dim * dim;
+        let b = gen::random_rhs(n, 7 + dim as u64);
+        let mut row = format!("{:<10}", format!("{dim}x{dim}"));
+        for sm in [
+            Smoother::gauss_seidel(1.0),
+            Smoother::distributed_southwell(0.5, 3),
+            Smoother::distributed_southwell(1.0, 3),
+        ] {
+            let mut mg = Multigrid::new(dim, sm);
+            let (_, hist) = mg.solve(&b, 9);
+            row.push_str(&format!(" {:>18.3e}", hist[8]));
+        }
+        println!("{row}");
+    }
+    println!("\nAll three columns are flat in the grid size (grid-independent");
+    println!("convergence), and the Southwell smoother does more per relaxation");
+    println!("than lexicographic Gauss–Seidel because it always attacks the");
+    println!("largest residuals first.");
+}

@@ -1,0 +1,81 @@
+//! The preconditioning context the paper positions Distributed Southwell
+//! in: stationary methods like Block Jacobi and the Southwell family are
+//! used as multigrid smoothers and preconditioner building blocks because
+//! a few cheap parallel steps knock the residual down fast, after which a
+//! Krylov method (or multigrid) takes over.
+//!
+//! This example shows that division of labour: reach a coarse residual
+//! with each stationary method, then count the conjugate gradient
+//! iterations needed to finish the solve from that point.
+//!
+//! ```text
+//! cargo run --release --example preconditioning
+//! ```
+
+use distributed_southwell::core::dist::{run_method, DistOptions, Method};
+use distributed_southwell::partition::{partition_multilevel, Graph, MultilevelOptions};
+use distributed_southwell::sparse::krylov::{conjugate_gradient, CgOptions};
+use distributed_southwell::sparse::{gen, vecops};
+
+fn main() {
+    let mut a = gen::grid2d_poisson(48, 48);
+    a.scale_unit_diagonal().unwrap();
+    let n = a.nrows();
+    // A nonzero b so the finishing solve is nontrivial.
+    let b = gen::random_rhs(n, 21);
+    let x0 = vec![0.0; n];
+    let part = partition_multilevel(&Graph::from_matrix(&a), 32, MultilevelOptions::default());
+
+    // Pure CG from zero, for reference.
+    let pure = conjugate_gradient(
+        &a,
+        &b,
+        &x0,
+        &CgOptions {
+            max_iters: 2000,
+            rel_tolerance: 1e-10,
+        },
+    );
+    println!(
+        "{:<34} {:>10} {:>12}",
+        "stage", "CG iters", "msgs/rank"
+    );
+    println!(
+        "{:<34} {:>10} {:>12}",
+        "CG alone",
+        pure.residual_history.len() - 1,
+        "-"
+    );
+
+    // Stationary warm start to ‖r‖ = 0.05 of ‖b‖, then CG.
+    for m in [
+        Method::BlockJacobi,
+        Method::ParallelSouthwell,
+        Method::DistributedSouthwell,
+    ] {
+        let opts = DistOptions {
+            max_steps: 100,
+            target_residual: Some(0.05 * vecops::norm2(&b)),
+            ..DistOptions::default()
+        };
+        let rep = run_method(m, &a, &b, &x0, &part, &opts);
+        let finish = conjugate_gradient(
+            &a,
+            &b,
+            &rep.x,
+            &CgOptions {
+                max_iters: 2000,
+                rel_tolerance: 1e-10,
+            },
+        );
+        println!(
+            "{:<34} {:>10} {:>12.1}",
+            format!("{} warm start + CG", rep.method.label()),
+            finish.residual_history.len() - 1,
+            rep.comm_cost(),
+        );
+    }
+    println!("\nThe Southwell warm starts buy the same CG savings as Block Jacobi");
+    println!("at a fraction of the message cost — and they keep working at rank");
+    println!("counts where Block Jacobi diverges (see the strong_scaling example).");
+}

@@ -1,0 +1,57 @@
+//! Quickstart: solve a small SPD system with Distributed Southwell and
+//! compare it against Block Jacobi and Parallel Southwell.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use distributed_southwell::core::dist::{run_method, DistOptions, Method};
+use distributed_southwell::partition::{partition_multilevel, Graph, MultilevelOptions};
+use distributed_southwell::sparse::{gen, vecops};
+
+fn main() {
+    // 1. Build a test problem: 2D Poisson, symmetrically scaled to unit
+    //    diagonal (the paper's normalization), b = 0, and a random initial
+    //    guess scaled so that the initial residual norm is exactly 1.
+    let mut a = gen::grid2d_poisson(64, 64);
+    a.scale_unit_diagonal().expect("SPD matrix");
+    let n = a.nrows();
+    let b = vec![0.0; n];
+    let mut x0 = gen::random_guess(n, 42);
+    let scale = 1.0 / vecops::norm2(&a.residual(&b, &x0));
+    x0.iter_mut().for_each(|v| *v *= scale);
+
+    // 2. Partition the rows over 64 simulated ranks (multilevel, the METIS
+    //    stand-in).
+    let graph = Graph::from_matrix(&a);
+    let part = partition_multilevel(&graph, 64, MultilevelOptions::default());
+
+    // 3. Run each method for at most 50 parallel steps, stopping at
+    //    ‖r‖₂ = 0.01.
+    let opts = DistOptions {
+        max_steps: 200,
+        target_residual: Some(0.01),
+        ..DistOptions::default()
+    };
+    println!(
+        "{:<22} {:>8} {:>12} {:>12} {:>12}",
+        "method", "steps", "msgs/rank", "relax/n", "final ‖r‖"
+    );
+    for m in [
+        Method::BlockJacobi,
+        Method::ParallelSouthwell,
+        Method::DistributedSouthwell,
+    ] {
+        let rep = run_method(m, &a, &b, &x0, &part, &opts);
+        println!(
+            "{:<22} {:>8} {:>12.1} {:>12.2} {:>12.4e}",
+            format!("{m:?}"),
+            rep.records.len() - 1,
+            rep.comm_cost(),
+            rep.records.last().unwrap().relaxations as f64 / n as f64,
+            rep.final_residual(),
+        );
+    }
+    println!("\nDistributed Southwell reaches the target with far fewer messages");
+    println!("per rank than Parallel Southwell — the headline of the SC'17 paper.");
+}

@@ -1,0 +1,50 @@
+//! Strong-scaling sketch (Figures 8 and 9 in miniature): sweep the rank
+//! count on one matrix and watch Block Jacobi fall over while Distributed
+//! Southwell degrades gracefully.
+//!
+//! ```text
+//! cargo run --release --example strong_scaling
+//! ```
+
+use distributed_southwell::core::dist::{run_method, DistOptions, Method};
+use distributed_southwell::partition::{partition_multilevel, Graph, MultilevelOptions};
+use distributed_southwell::sparse::suite::by_name;
+use distributed_southwell::sparse::{gen, vecops};
+
+fn main() {
+    let entry = by_name("ldoor").unwrap();
+    let a = entry.build_small(0.5);
+    let n = a.nrows();
+    let b = vec![0.0; n];
+    let mut x0 = gen::random_guess(n, 5);
+    let s = 1.0 / vecops::norm2(&a.residual(&b, &x0));
+    x0.iter_mut().for_each(|v| *v *= s);
+    println!("ldoor stand-in, {} rows — residual after 50 parallel steps:", n);
+    println!(
+        "{:>6} {:>14} {:>14} {:>14}",
+        "ranks", "Block Jacobi", "Par Southwell", "Dist Southwell"
+    );
+
+    for p in [4usize, 8, 16, 32, 64, 128] {
+        let part =
+            partition_multilevel(&Graph::from_matrix(&a), p, MultilevelOptions::default());
+        let opts = DistOptions {
+            max_steps: 50,
+            target_residual: None,
+            divergence_cutoff: None,
+            ..DistOptions::default()
+        };
+        let mut row = format!("{p:>6}");
+        for m in [
+            Method::BlockJacobi,
+            Method::ParallelSouthwell,
+            Method::DistributedSouthwell,
+        ] {
+            let rep = run_method(m, &a, &b, &x0, &part, &opts);
+            row.push_str(&format!(" {:>14.4e}", rep.final_residual()));
+        }
+        println!("{row}");
+    }
+    println!("\nValues above 1 mean the method diverged (‖r⁰‖ = 1). Block Jacobi");
+    println!("degrades as the blocks shrink; the Southwell methods do not.");
+}

@@ -1,0 +1,74 @@
+//! Run the three distributed methods on one of the synthetic SuiteSparse
+//! stand-ins and print the per-step convergence trace — a single panel of
+//! the paper's Figure 7.
+//!
+//! ```text
+//! cargo run --release --example suite_comparison [matrix] [ranks]
+//! # e.g.
+//! cargo run --release --example suite_comparison bone010 128
+//! ```
+
+use distributed_southwell::core::dist::{run_method, DistOptions, Method};
+use distributed_southwell::partition::{partition_multilevel, Graph, MultilevelOptions};
+use distributed_southwell::sparse::suite::by_name;
+use distributed_southwell::sparse::{gen, vecops};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let name = args.first().map(String::as_str).unwrap_or("bone010");
+    let ranks: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(128);
+
+    let entry = by_name(name).unwrap_or_else(|| {
+        eprintln!("unknown matrix {name}; see `table1` for the list");
+        std::process::exit(2);
+    });
+    // Scaled-down build so the example runs in seconds.
+    let a = entry.build_small(0.5);
+    let n = a.nrows();
+    println!("{name} stand-in: {} rows, {} nonzeros, {ranks} ranks", n, a.nnz());
+
+    let b = vec![0.0; n];
+    let mut x0 = gen::random_guess(n, 1);
+    let s = 1.0 / vecops::norm2(&a.residual(&b, &x0));
+    x0.iter_mut().for_each(|v| *v *= s);
+    let part = partition_multilevel(&Graph::from_matrix(&a), ranks, MultilevelOptions::default());
+
+    let opts = DistOptions {
+        max_steps: 50,
+        target_residual: None,
+        divergence_cutoff: None,
+        ..DistOptions::default()
+    };
+    let reports: Vec<_> = [
+        Method::BlockJacobi,
+        Method::ParallelSouthwell,
+        Method::DistributedSouthwell,
+    ]
+    .iter()
+    .map(|&m| run_method(m, &a, &b, &x0, &part, &opts))
+    .collect();
+
+    println!("\n{:>4} {:>14} {:>14} {:>14}", "step", "BJ ‖r‖", "PS ‖r‖", "DS ‖r‖");
+    let steps = reports.iter().map(|r| r.records.len()).max().unwrap();
+    for k in 0..steps {
+        let cell = |i: usize| {
+            reports[i]
+                .records
+                .get(k)
+                .map(|rec| format!("{:.4e}", rec.residual_norm))
+                .unwrap_or_default()
+        };
+        println!("{k:>4} {:>14} {:>14} {:>14}", cell(0), cell(1), cell(2));
+    }
+    for rep in &reports {
+        println!(
+            "{:<4} comm cost {:>8.1} msgs/rank, active {:>5.1}%, reached 0.1: {}",
+            rep.method.label(),
+            rep.comm_cost(),
+            100.0 * rep.active_fraction(),
+            rep.steps_to_reach(0.1)
+                .map(|v| format!("step {v:.1}"))
+                .unwrap_or("no".into()),
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! Facade crate for the Distributed Southwell (SC'17) reproduction.
+//!
+//! Re-exports the public API of every workspace crate under one roof:
+//!
+//! ```
+//! use distributed_southwell::prelude::*;
+//!
+//! let mut a = gen::grid2d_poisson(16, 16);
+//! a.scale_unit_diagonal().unwrap();
+//! ```
+//!
+//! See the individual crates for the full documentation:
+//! [`sparse`], [`partition`], [`rma`], [`core`], [`multigrid`].
+
+pub use dsw_core as core;
+pub use dsw_multigrid as multigrid;
+pub use dsw_partition as partition;
+pub use dsw_rma as rma;
+pub use dsw_sparse as sparse;
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use dsw_sparse::gen;
+    pub use dsw_sparse::vecops;
+    pub use dsw_sparse::{CooBuilder, CsrMatrix, DenseMatrix};
+}

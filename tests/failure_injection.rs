@@ -1,0 +1,145 @@
+//! Failure injection: what happens to the protocols when the substrate's
+//! delivery guarantee is broken. One-sided MPI guarantees that puts are
+//! visible once the epoch closes; these tests document that Distributed
+//! Southwell genuinely depends on that guarantee — exactly why the paper
+//! implements it on RMA with collective epoch management.
+
+use distributed_southwell::core::dist::{distribute, DistributedSouthwellRank};
+use distributed_southwell::partition::{partition_multilevel, Graph, MultilevelOptions};
+use distributed_southwell::rma::{ChaosConfig, CommClass, CostModel, ExecMode, Executor};
+use distributed_southwell::sparse::{gen, vecops};
+
+fn ds_executor(
+    chaos: ChaosConfig,
+) -> (
+    distributed_southwell::sparse::CsrMatrix,
+    Vec<f64>,
+    Executor<DistributedSouthwellRank>,
+) {
+    let mut a = gen::grid2d_poisson(16, 16);
+    a.scale_unit_diagonal().unwrap();
+    let n = a.nrows();
+    let b = vec![0.0; n];
+    let mut x0 = gen::random_guess(n, 11);
+    let s = 1.0 / vecops::norm2(&a.residual(&b, &x0));
+    x0.iter_mut().for_each(|v| *v *= s);
+    let part = partition_multilevel(&Graph::from_matrix(&a), 8, MultilevelOptions::default());
+    let locals = distribute(&a, &b, &x0, &part).unwrap();
+    let norms: Vec<f64> = locals.iter().map(|l| l.residual_norm_sq()).collect();
+    let r0 = a.residual(&b, &x0);
+    let ranks = DistributedSouthwellRank::build(locals, &norms, &r0);
+    (
+        a,
+        b,
+        Executor::with_chaos(ranks, CostModel::default(), ExecMode::Sequential, chaos),
+    )
+}
+
+fn global_norm(
+    ex: &Executor<DistributedSouthwellRank>,
+    a: &distributed_southwell::sparse::CsrMatrix,
+    b: &[f64],
+) -> f64 {
+    let mut x = vec![0.0; a.nrows()];
+    for r in ex.ranks() {
+        for (li, &g) in r.ls.rows.iter().enumerate() {
+            x[g] = r.ls.x[li];
+        }
+    }
+    vecops::norm2(&a.residual(b, &x))
+}
+
+#[test]
+fn zero_drop_rate_is_identity() {
+    let (_, _, mut healthy) = ds_executor(ChaosConfig::none());
+    let (_, _, mut chaotic) = ds_executor(ChaosConfig {
+        drop_rate: 0.0,
+        drop_class: Some(CommClass::Residual),
+        seed: 99,
+    });
+    for _ in 0..20 {
+        healthy.step();
+        chaotic.step();
+    }
+    assert_eq!(chaotic.msgs_dropped, 0);
+    let hx: Vec<f64> = healthy.ranks().iter().flat_map(|r| r.ls.x.clone()).collect();
+    let cx: Vec<f64> = chaotic.ranks().iter().flat_map(|r| r.ls.x.clone()).collect();
+    assert_eq!(hx, cx);
+}
+
+#[test]
+fn dropping_residual_updates_can_freeze_distributed_southwell() {
+    // Losing every deadlock-avoidance message is equivalent to turning the
+    // mechanism off: the method can freeze before converging.
+    let (a, b, mut ex) = ds_executor(ChaosConfig {
+        drop_rate: 1.0,
+        drop_class: Some(CommClass::Residual),
+        seed: 1,
+    });
+    let mut frozen = false;
+    for _ in 0..500 {
+        let s = ex.step();
+        if s.relaxations == 0 && s.msgs == 0 && global_norm(&ex, &a, &b) > 1e-6 {
+            frozen = true;
+            break;
+        }
+    }
+    assert!(frozen, "expected a freeze without avoidance messages");
+    assert!(ex.msgs_dropped > 0);
+}
+
+#[test]
+fn dropping_solve_updates_corrupts_maintained_residuals() {
+    // Lost solve messages mean the receiver's maintained residual no
+    // longer equals b - Ax: the invariant every solver relies on breaks,
+    // which is why the paper's implementation sits on reliable RMA.
+    let (a, b, mut ex) = ds_executor(ChaosConfig {
+        drop_rate: 0.5,
+        drop_class: Some(CommClass::Solve),
+        seed: 7,
+    });
+    for _ in 0..30 {
+        ex.step();
+    }
+    assert!(ex.msgs_dropped > 0, "some solve messages must have dropped");
+    let mut kept = vec![0.0; a.nrows()];
+    let mut x = vec![0.0; a.nrows()];
+    for r in ex.ranks() {
+        for (li, &g) in r.ls.rows.iter().enumerate() {
+            kept[g] = r.ls.r[li];
+            x[g] = r.ls.x[li];
+        }
+    }
+    let truth = a.residual(&b, &x);
+    let drift: f64 = kept
+        .iter()
+        .zip(&truth)
+        .map(|(k, t)| (k - t) * (k - t))
+        .sum::<f64>()
+        .sqrt();
+    assert!(
+        drift > 1e-8,
+        "maintained residuals should drift from the truth, drift = {drift}"
+    );
+}
+
+#[test]
+fn light_chaos_changes_the_trajectory_deterministically() {
+    let mk = || {
+        ds_executor(ChaosConfig {
+            drop_rate: 0.1,
+            drop_class: None,
+            seed: 42,
+        })
+    };
+    let (_, _, mut e1) = mk();
+    let (_, _, mut e2) = mk();
+    for _ in 0..15 {
+        e1.step();
+        e2.step();
+    }
+    assert_eq!(e1.msgs_dropped, e2.msgs_dropped);
+    let x1: Vec<f64> = e1.ranks().iter().flat_map(|r| r.ls.x.clone()).collect();
+    let x2: Vec<f64> = e2.ranks().iter().flat_map(|r| r.ls.x.clone()).collect();
+    assert_eq!(x1, x2, "chaos must be deterministic per seed");
+}

@@ -1,0 +1,147 @@
+//! Protocol-level invariants of the Distributed Southwell implementation,
+//! checked from outside the crate through the public API.
+
+use distributed_southwell::core::dist::{
+    distribute, DistributedSouthwellRank, DsConfig, ParallelSouthwellRank,
+};
+use distributed_southwell::partition::{partition_multilevel, Graph, MultilevelOptions};
+use distributed_southwell::rma::{CostModel, ExecMode, Executor};
+use distributed_southwell::sparse::{gen, vecops};
+
+fn build_ds_executor(
+    nx: usize,
+    p: usize,
+    seed: u64,
+) -> (
+    distributed_southwell::sparse::CsrMatrix,
+    Vec<f64>,
+    Executor<DistributedSouthwellRank>,
+) {
+    let mut a = gen::grid2d_poisson(nx, nx);
+    a.scale_unit_diagonal().unwrap();
+    let n = a.nrows();
+    let b = vec![0.0; n];
+    let mut x0 = gen::random_guess(n, seed);
+    let s = 1.0 / vecops::norm2(&a.residual(&b, &x0));
+    x0.iter_mut().for_each(|v| *v *= s);
+    let part = partition_multilevel(&Graph::from_matrix(&a), p, MultilevelOptions::default());
+    let locals = distribute(&a, &b, &x0, &part).unwrap();
+    let norms: Vec<f64> = locals.iter().map(|l| l.residual_norm_sq()).collect();
+    let r0 = a.residual(&b, &x0);
+    let ranks = DistributedSouthwellRank::build_with(locals, &norms, &r0, DsConfig::default());
+    (
+        a,
+        b,
+        Executor::new(ranks, CostModel::default(), ExecMode::Sequential),
+    )
+}
+
+#[test]
+fn ghost_layers_hold_true_boundary_residuals_at_quiescence() {
+    // After a step with no explicit updates in flight, each rank's ghost
+    // layer z must match the owning rank's actual residual values at the
+    // positions the protocol keeps fresh — whenever either endpoint
+    // communicated recently. We verify the weaker but universal invariant:
+    // Γ̃ records mirror the neighbor's Γ entries (the paper's "always
+    // exactly known" claim).
+    let (_, _, mut ex) = build_ds_executor(18, 9, 3);
+    let mut checked = 0;
+    for _ in 0..80 {
+        let s = ex.step();
+        if s.msgs_residual != 0 {
+            continue;
+        }
+        checked += 1;
+        for p in ex.ranks() {
+            for (slot, &q) in p.ls.neighbors.iter().enumerate() {
+                let qr = &ex.ranks()[q];
+                let back = qr.ls.neighbor_slot(p.ls.rank);
+                let gamma = qr.gamma_sq[back];
+                assert!(
+                    (p.tilde_sq[slot] - gamma).abs() <= 1e-12 * gamma.max(1.0),
+                    "rank {} vs neighbor {q}",
+                    p.ls.rank
+                );
+            }
+        }
+    }
+    assert!(checked > 0);
+}
+
+#[test]
+fn gamma_estimates_never_break_progress() {
+    // Whatever the estimates do, some rank must relax within any window of
+    // a few steps until convergence (global progress, i.e. deadlock
+    // freedom with avoidance enabled).
+    let (a, b, mut ex) = build_ds_executor(20, 12, 5);
+    let mut idle_run = 0;
+    for _ in 0..300 {
+        let s = ex.step();
+        if s.relaxations == 0 {
+            idle_run += 1;
+            assert!(
+                idle_run <= 2,
+                "three consecutive idle steps should be impossible"
+            );
+        } else {
+            idle_run = 0;
+        }
+        // Converged?
+        let mut x = vec![0.0; a.nrows()];
+        for r in ex.ranks() {
+            for (li, &g) in r.ls.rows.iter().enumerate() {
+                x[g] = r.ls.x[li];
+            }
+        }
+        if vecops::norm2(&a.residual(&b, &x)) < 1e-8 {
+            return;
+        }
+    }
+}
+
+#[test]
+fn message_counters_are_conserved() {
+    // Total per-rank counters equal the per-step sums, and every message
+    // lands at a neighbor (conservation of the paper's comm-cost metric).
+    let (_, _, mut ex) = build_ds_executor(16, 8, 7);
+    for _ in 0..30 {
+        ex.step();
+    }
+    let per_rank: u64 = ex.stats.msgs_per_rank.iter().sum();
+    let per_step: u64 = ex.stats.steps.iter().map(|s| s.msgs).sum();
+    assert_eq!(per_rank, per_step);
+    let by_class = ex.stats.total_msgs_solve() + ex.stats.total_msgs_residual();
+    assert_eq!(by_class, per_step);
+}
+
+#[test]
+fn ps_explicit_updates_follow_norm_changes_only() {
+    // Parallel Southwell sends explicit updates only in steps where some
+    // rank's residual actually changed without it relaxing; in a fully
+    // quiet step (no relaxation anywhere) there must be no new residual
+    // messages beyond the first settling step.
+    let mut a = gen::grid2d_poisson(12, 12);
+    a.scale_unit_diagonal().unwrap();
+    let n = a.nrows();
+    let b = vec![0.0; n];
+    let mut x0 = gen::random_guess(n, 2);
+    let s = 1.0 / vecops::norm2(&a.residual(&b, &x0));
+    x0.iter_mut().for_each(|v| *v *= s);
+    let part = partition_multilevel(&Graph::from_matrix(&a), 6, MultilevelOptions::default());
+    let locals = distribute(&a, &b, &x0, &part).unwrap();
+    let norms: Vec<f64> = locals.iter().map(|l| l.residual_norm_sq()).collect();
+    let ranks = ParallelSouthwellRank::build(locals, &norms);
+    let mut ex = Executor::new(ranks, CostModel::default(), ExecMode::Sequential);
+    for _ in 0..40 {
+        let s = ex.step();
+        if s.relaxations == 0 {
+            // No one relaxed: no residual can have changed in this step's
+            // phase 1, so no explicit updates were sent in it. (Residual
+            // messages *read* this step were sent earlier.)
+            assert_eq!(
+                s.msgs_solve, 0,
+                "no solve messages without relaxations"
+            );
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests on the multigrid transfer operators and the
+//! reordering/IO layers — the pieces whose correctness is a precise
+//! algebraic statement.
+
+use distributed_southwell::multigrid::transfer::{prolong, restrict};
+use distributed_southwell::sparse::io_bin;
+use distributed_southwell::sparse::reorder::{reverse_cuthill_mckee, Permutation};
+use distributed_southwell::sparse::{gen, vecops};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn prolong_and_restrict_are_adjoint(
+        k in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        // Grids cd = 2^k - 1, fd = 2cd + 1.
+        let cd = (1usize << k) - 1;
+        let fd = 2 * cd + 1;
+        let ec = gen::random_guess(cd * cd, seed);
+        let rf = gen::random_guess(fd * fd, seed ^ 0xABCD);
+        let lhs = vecops::dot(&prolong(&ec, cd, fd), &rf);
+        let rhs = vecops::dot(&ec, &restrict(&rf, fd, cd));
+        prop_assert!((lhs - rhs).abs() < 1e-10, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn prolongation_preserves_smooth_functions_in_the_interior(
+        k in 2usize..5,
+    ) {
+        // Interpolating a linear function reproduces it exactly away from
+        // the Dirichlet boundary (bilinear interpolation is exact on
+        // linears).
+        let cd = (1usize << k) - 1;
+        let fd = 2 * cd + 1;
+        let lin = |i: usize, j: usize, d: usize| {
+            let h = 1.0 / (d + 1) as f64;
+            0.3 * (i + 1) as f64 * h + 0.7 * (j + 1) as f64 * h
+        };
+        let coarse: Vec<f64> = (0..cd * cd)
+            .map(|idx| lin(idx % cd, idx / cd, cd))
+            .collect();
+        let fine = prolong(&coarse, cd, fd);
+        // Interior fine points (at least one coarse cell away from the
+        // boundary) must match the linear function exactly.
+        for j in 2..fd - 2 {
+            for i in 2..fd - 2 {
+                let expect = lin(i, j, fd);
+                let got = fine[j * fd + i];
+                prop_assert!(
+                    (got - expect).abs() < 1e-12,
+                    "({i},{j}): {got} vs {expect}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn binary_io_roundtrips_any_clique_matrix(
+        nx in 3usize..8,
+        ny in 3usize..8,
+        c in 0.05f64..0.9,
+        seed in 0u64..100,
+    ) {
+        let a = gen::clique_grid2d(nx, ny, gen::CliqueOptions {
+            coupling: c,
+            weight_jump: 0.4,
+            hot_fraction: 0.0,
+            hot_coupling: 0.0,
+            seed,
+        });
+        let mut buf = Vec::new();
+        io_bin::write_bin(&a, &mut buf).unwrap();
+        prop_assert_eq!(io_bin::read_bin(&buf[..]).unwrap(), a);
+    }
+
+    #[test]
+    fn rcm_is_a_permutation_that_preserves_symmetry(
+        nx in 3usize..9,
+        ny in 3usize..9,
+    ) {
+        let a = gen::grid2d_poisson(nx, ny);
+        let p = reverse_cuthill_mckee(&a);
+        prop_assert_eq!(p.len(), a.nrows());
+        // new_of and old_of are inverse.
+        for i in 0..p.len() {
+            prop_assert_eq!(p.new_of(p.old_of(i)), i);
+        }
+        let b = p.apply_symmetric(&a).unwrap();
+        prop_assert!(b.is_symmetric(1e-12));
+        prop_assert_eq!(b.nnz(), a.nnz());
+    }
+
+    #[test]
+    fn permutation_vec_roundtrip(perm_seed in 0u64..500, n in 2usize..40) {
+        // Build a pseudo-random permutation from the seed.
+        let mut idx: Vec<usize> = (0..n).collect();
+        let mut state = perm_seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+        for i in (1..n).rev() {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let j = (state as usize) % (i + 1);
+            idx.swap(i, j);
+        }
+        let p = Permutation::from_new_to_old(idx).unwrap();
+        let x = gen::random_guess(n, perm_seed);
+        let back = p.apply_vec_inverse(&p.apply_vec(&x));
+        prop_assert_eq!(back, x);
+    }
+}
