@@ -109,7 +109,7 @@ fn bench_fig7(c: &mut Criterion) {
         Method::ParallelSouthwell,
         Method::DistributedSouthwell,
     ] {
-        g.bench_function(format!("bone010_{}_50_steps", m.label()), |bench| {
+        g.bench_function(&format!("bone010_{}_50_steps", m.label()), |bench| {
             bench.iter(|| run_method(m, &prob.a, &prob.b, &prob.x0, &part, &opts))
         });
     }

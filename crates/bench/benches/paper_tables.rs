@@ -49,7 +49,7 @@ fn bench_table2(c: &mut Criterion) {
         Method::ParallelSouthwell,
         Method::DistributedSouthwell,
     ] {
-        g.bench_function(format!("msdoor_{}", m.label()), |bench| {
+        g.bench_function(&format!("msdoor_{}", m.label()), |bench| {
             bench.iter(|| run_method(m, &prob.a, &prob.b, &prob.x0, &part, &opts))
         });
     }
@@ -70,7 +70,7 @@ fn bench_table3(c: &mut Criterion) {
     let mut g = c.benchmark_group("table3");
     g.sample_size(10);
     for m in [Method::ParallelSouthwell, Method::DistributedSouthwell] {
-        g.bench_function(format!("af_5_k101_{}_to_0.1", m.label()), |bench| {
+        g.bench_function(&format!("af_5_k101_{}_to_0.1", m.label()), |bench| {
             bench.iter(|| {
                 let rep = run_method(m, &prob.a, &prob.b, &prob.x0, &part, &opts);
                 (

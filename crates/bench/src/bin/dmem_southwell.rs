@@ -171,7 +171,13 @@ fn main() {
         for r in &rep.records {
             println!(
                 "{},{:.8e},{},{},{},{},{:.6e}",
-                r.step, r.residual_norm, r.relaxations, r.msgs, r.msgs_solve, r.msgs_residual, r.time
+                r.step,
+                r.residual_norm,
+                r.relaxations,
+                r.msgs,
+                r.msgs_solve,
+                r.msgs_residual,
+                r.time
             );
         }
     } else {

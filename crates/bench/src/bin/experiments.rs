@@ -3,7 +3,7 @@
 //! ```text
 //! experiments [--scale F] [--ranks N] [--steps K] [--out DIR] <ids...>
 //!   ids: fig1 fig2 fig5 fig6 table1 table2 table3 table4 fig7 fig8 fig9
-//!        ablation threshold comm all smoke
+//!        ablation threshold comm chaos all smoke
 //! ```
 
 use dsw_bench::experiments::fig2::{run_fig2, run_fig5};
@@ -21,14 +21,20 @@ fn main() {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--scale" => {
-                ctx.scale = it.next().expect("--scale F").parse().expect("float scale")
-            }
+            "--scale" => ctx.scale = it.next().expect("--scale F").parse().expect("float scale"),
             "--ranks" => {
-                ctx.ranks = it.next().expect("--ranks N").parse().expect("integer ranks")
+                ctx.ranks = it
+                    .next()
+                    .expect("--ranks N")
+                    .parse()
+                    .expect("integer ranks")
             }
             "--steps" => {
-                ctx.max_steps = it.next().expect("--steps K").parse().expect("integer steps")
+                ctx.max_steps = it
+                    .next()
+                    .expect("--steps K")
+                    .parse()
+                    .expect("integer steps")
             }
             "--out" => ctx.out_dir = it.next().expect("--out DIR").into(),
             other => ids.push(other.to_string()),
@@ -38,7 +44,7 @@ fn main() {
         eprintln!(
             "usage: experiments [--scale F] [--ranks N] [--steps K] [--out DIR] <ids...>\n\
              ids: fig1 fig2 fig5 fig6 table1 table2 table3 table4 fig7 fig8 fig9\n\
-                  ablation threshold comm all smoke"
+                  ablation threshold comm chaos all smoke"
         );
         std::process::exit(2);
     }
@@ -95,6 +101,9 @@ fn main() {
             "comm" => {
                 dsw_bench::experiments::comm_pattern::run_comm_pattern(&ctx);
             }
+            "chaos" => {
+                dsw_bench::experiments::chaos::run_chaos(&ctx);
+            }
             "all" => {
                 dsw_bench::experiments::fig1::run_fig1(&ctx);
                 run_fig2(&ctx);
@@ -131,13 +140,25 @@ fn main() {
                     write_csv(
                         &ctx.out_dir,
                         "fig8",
-                        &["matrix", "ranks", "method", "time_to_target_s", "residual_after_50"],
+                        &[
+                            "matrix",
+                            "ranks",
+                            "method",
+                            "time_to_target_s",
+                            "residual_after_50",
+                        ],
                         &rows,
                     );
                     write_csv(
                         &ctx.out_dir,
                         "fig9",
-                        &["matrix", "ranks", "method", "time_to_target_s", "residual_after_50"],
+                        &[
+                            "matrix",
+                            "ranks",
+                            "method",
+                            "time_to_target_s",
+                            "residual_after_50",
+                        ],
                         &rows,
                     );
                     println!("\n(fig8/fig9 sweep written to CSV; see results/)");
@@ -145,6 +166,7 @@ fn main() {
                 ablation::run_ablation(&ctx);
                 dsw_bench::experiments::threshold::run_threshold(&ctx);
                 dsw_bench::experiments::comm_pattern::run_comm_pattern(&ctx);
+                dsw_bench::experiments::chaos::run_chaos(&ctx);
             }
             "smoke" => {
                 let sctx = ExperimentCtx::smoke();

@@ -21,11 +21,24 @@ fn probe(label: &str, a: CsrMatrix, seed: u64) {
         divergence_cutoff: None,
         ..DistOptions::default()
     };
-    let bj = run_method(Method::BlockJacobi, &prob.a, &prob.b, &prob.x0, &part, &opts);
-    let min = bj.records.iter().map(|r| r.residual_norm).fold(f64::MAX, f64::min);
+    let bj = run_method(
+        Method::BlockJacobi,
+        &prob.a,
+        &prob.b,
+        &prob.x0,
+        &part,
+        &opts,
+    );
+    let min = bj
+        .records
+        .iter()
+        .map(|r| r.residual_norm)
+        .fold(f64::MAX, f64::min);
     println!(
         "{label}: BJ reach={} min={:.3e} final={:.3e}",
-        bj.steps_to_reach(0.1).map(|v| format!("{v:.1}")).unwrap_or("†".into()),
+        bj.steps_to_reach(0.1)
+            .map(|v| format!("{v:.1}"))
+            .unwrap_or("†".into()),
         min,
         bj.final_residual(),
     );
@@ -34,7 +47,13 @@ fn probe(label: &str, a: CsrMatrix, seed: u64) {
 fn main() {
     // Hook_1498 candidates: 37^3, seed 105, Geo-timing setup seed.
     let seed = 0xD15C0u64 + 59_344_451;
-    for (bulk, hc) in [(0.25, 0.55), (0.24, 0.55), (0.25, 0.52), (0.22, 0.55), (0.23, 0.58)] {
+    for (bulk, hc) in [
+        (0.25, 0.55),
+        (0.24, 0.55),
+        (0.25, 0.52),
+        (0.22, 0.55),
+        (0.23, 0.58),
+    ] {
         probe(
             &format!("hook bulk={bulk} hc={hc}"),
             clique_grid3d(

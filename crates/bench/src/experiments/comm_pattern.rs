@@ -26,7 +26,7 @@ pub struct PatternRow {
 
 fn run_one<R>(label: &'static str, ranks: Vec<R>, steps: usize, npairs: usize) -> PatternRow
 where
-    R: RankAlgorithm<Msg = dsw_core::dist::DistMsg>,
+    R: RankAlgorithm,
 {
     let n = ranks.len();
     let mut ex = Executor::new(ranks, CostModel::default(), ExecMode::Sequential);
@@ -41,7 +41,12 @@ where
         .flat_map(|row| row.iter())
         .filter(|&&c| c > 0)
         .count();
-    let hottest = m.iter().flat_map(|row| row.iter()).copied().max().unwrap_or(0);
+    let hottest = m
+        .iter()
+        .flat_map(|row| row.iter())
+        .copied()
+        .max()
+        .unwrap_or(0);
     PatternRow {
         label,
         delivered: trace.len(),
@@ -66,12 +71,7 @@ pub fn run_comm_pattern(ctx: &ExperimentCtx) -> Vec<PatternRow> {
     let steps = 25;
 
     let rows = vec![
-        run_one(
-            "BJ",
-            BlockJacobiRank::build(locals.clone()),
-            steps,
-            npairs,
-        ),
+        run_one("BJ", BlockJacobiRank::build(locals.clone()), steps, npairs),
         run_one(
             "PS",
             ParallelSouthwellRank::build(locals.clone(), &norms),
@@ -108,7 +108,13 @@ pub fn run_comm_pattern(ctx: &ExperimentCtx) -> Vec<PatternRow> {
     write_csv(
         &ctx.out_dir,
         "comm_pattern",
-        &["method", "delivered", "link_utilization", "hottest_link", "solve_share"],
+        &[
+            "method",
+            "delivered",
+            "link_utilization",
+            "hottest_link",
+            "solve_share",
+        ],
         &csv,
     );
     rows
@@ -125,7 +131,11 @@ mod tests {
         let bj = &rows[0];
         let ds = &rows[2];
         // BJ sends on every neighbor link every step.
-        assert!(bj.link_utilization > 0.999, "BJ util {}", bj.link_utilization);
+        assert!(
+            bj.link_utilization > 0.999,
+            "BJ util {}",
+            bj.link_utilization
+        );
         assert_eq!(bj.solve_share, 1.0);
         // DS delivers far fewer messages over the same steps.
         assert!(

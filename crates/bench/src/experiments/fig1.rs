@@ -72,9 +72,7 @@ pub fn run_fig1(ctx: &ExperimentCtx) -> IllustrationResult {
             }
             for &j in prob.a.row_cols(i) {
                 let q = part.part_of(j);
-                if q != p
-                    && !(norm_sq[p] > norm_sq[q] || (norm_sq[p] == norm_sq[q] && p < q))
-                {
+                if q != p && !(norm_sq[p] > norm_sq[q] || (norm_sq[p] == norm_sq[q] && p < q)) {
                     continue 'parts;
                 }
             }
@@ -129,7 +127,10 @@ mod tests {
         let res = run_fig1(&ctx);
         assert!(!res.scalar_selected.is_empty());
         assert!(!res.block_selected.is_empty());
-        assert!(res.block_selected.len() < res.nparts, "not everyone relaxes");
+        assert!(
+            res.block_selected.len() < res.nparts,
+            "not everyone relaxes"
+        );
         // Block selection must be an independent set in the part graph —
         // guaranteed by the strict criterion; spot-check disjointness of ids.
         let mut sorted = res.block_selected.clone();

@@ -98,7 +98,10 @@ fn curve(label: &'static str, history: ScalarHistory) -> Curve {
 }
 
 fn emit(ctx: &ExperimentCtx, name: &str, result: &ScalarConvergence) {
-    println!("\n=== {} — scalar convergence, n = {} (3 sweeps) ===", name, result.n);
+    println!(
+        "\n=== {} — scalar convergence, n = {} (3 sweeps) ===",
+        name, result.n
+    );
     println!(
         "{:<8} {:>10} {:>14} {:>12} {:>16}",
         "method", "steps", "relaxations", "final ‖r‖", "relax to ‖r‖=0.6"
@@ -141,7 +144,12 @@ fn emit(ctx: &ExperimentCtx, name: &str, result: &ScalarConvergence) {
         })
         .collect();
     crate::chart::print(&series, 72, 16);
-    write_csv(&ctx.out_dir, name, &["method", "relaxations", "residual_norm"], &rows);
+    write_csv(
+        &ctx.out_dir,
+        name,
+        &["method", "relaxations", "residual_norm"],
+        &rows,
+    );
 }
 
 #[cfg(test)]

@@ -27,12 +27,15 @@ pub fn dims(ctx: &ExperimentCtx) -> Vec<usize> {
 pub fn run_fig6(ctx: &ExperimentCtx) -> Vec<Fig6Point> {
     let smoothers: [(&'static str, Smoother); 3] = [
         ("GS, 1 sweep", Smoother::gauss_seidel(1.0)),
-        ("Dist SW, 1/2 sweep", Smoother::distributed_southwell(0.5, 99)),
+        (
+            "Dist SW, 1/2 sweep",
+            Smoother::distributed_southwell(0.5, 99),
+        ),
         ("Dist SW, 1 sweep", Smoother::distributed_southwell(1.0, 99)),
     ];
     let mut points = Vec::new();
     println!("\n=== fig6 — rel. residual after 9 V-cycles (2D Poisson) ===");
-    println!("{:<20} {}", "smoother", "dim: rel residual ...");
+    println!("{:<20} dim: rel residual ...", "smoother");
     for (label, sm) in smoothers {
         let mut line = format!("{label:<20}");
         for dim in dims(ctx) {
@@ -87,10 +90,7 @@ mod tests {
             assert!(!vals.is_empty());
             let max = vals.iter().cloned().fold(0.0f64, f64::max);
             let min = vals.iter().cloned().fold(f64::MAX, f64::min);
-            assert!(
-                max / min < 200.0,
-                "{label}: not grid independent {vals:?}"
-            );
+            assert!(max / min < 200.0, "{label}: not grid independent {vals:?}");
             assert!(max < 1e-4, "{label}: 9 V-cycles should converge, {vals:?}");
         }
         // DS 1 sweep beats GS 1 sweep on the largest grid tested.

@@ -3,9 +3,9 @@
 //! Jacobi behaviours (reaches 0.1 then diverges / never reaches 0.1 /
 //! never diverges).
 
-use crate::experiments::suite_tables::{suite_runs, SuiteRun};
 #[cfg(test)]
 use crate::experiments::suite_tables::METHODS;
+use crate::experiments::suite_tables::{suite_runs, SuiteRun};
 use crate::harness::{write_csv, ExperimentCtx};
 
 /// The four matrices the paper plots.
@@ -67,7 +67,14 @@ pub fn emit(ctx: &ExperimentCtx, runs: &[SuiteRun]) {
     write_csv(
         &ctx.out_dir,
         "fig7",
-        &["matrix", "method", "step", "time_s", "comm_cost", "residual_norm"],
+        &[
+            "matrix",
+            "method",
+            "step",
+            "time_s",
+            "comm_cost",
+            "residual_norm",
+        ],
         &rows,
     );
 }

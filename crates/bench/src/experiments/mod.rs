@@ -13,8 +13,10 @@
 //! | fig8   | strong scaling: time to ‖r‖ = 0.1 vs rank count         |
 //! | fig9   | residual after 50 steps vs rank count                   |
 //! | ablation | deadlock-avoidance and ghost-refinement ablations     |
+//! | chaos  | DS on an unreliable transport, recovery off vs on       |
 
 pub mod ablation;
+pub mod chaos;
 pub mod comm_pattern;
 pub mod fig1;
 pub mod fig2;

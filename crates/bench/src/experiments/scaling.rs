@@ -92,7 +92,13 @@ pub fn run_fig8(ctx: &ExperimentCtx) -> Vec<ScalingPoint> {
     write_csv(
         &ctx.out_dir,
         "fig8",
-        &["matrix", "ranks", "method", "time_to_target_s", "residual_after_50"],
+        &[
+            "matrix",
+            "ranks",
+            "method",
+            "time_to_target_s",
+            "residual_after_50",
+        ],
         &rows,
     );
     points
@@ -107,7 +113,13 @@ pub fn run_fig9(ctx: &ExperimentCtx) -> Vec<ScalingPoint> {
     write_csv(
         &ctx.out_dir,
         "fig9",
-        &["matrix", "ranks", "method", "time_to_target_s", "residual_after_50"],
+        &[
+            "matrix",
+            "ranks",
+            "method",
+            "time_to_target_s",
+            "residual_after_50",
+        ],
         &rows,
     );
     points
@@ -168,7 +180,10 @@ mod tests {
         let pts = scaling_points(&ctx);
         assert_eq!(pts.len(), 6 * rank_sweep(&ctx).len() * 3);
         // DS never diverges on the sweep.
-        for pt in pts.iter().filter(|p| p.method == Method::DistributedSouthwell) {
+        for pt in pts
+            .iter()
+            .filter(|p| p.method == Method::DistributedSouthwell)
+        {
             assert!(
                 pt.residual_after_50 < 10.0,
                 "{} at {} ranks: DS residual {}",

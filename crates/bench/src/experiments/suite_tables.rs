@@ -74,9 +74,21 @@ pub fn table2(ctx: &ExperimentCtx, runs: &[SuiteRun]) {
     );
     let mut rows = Vec::new();
     for run in runs {
-        let t: Vec<Option<f64>> = run.reports.iter().map(|r| r.time_to_reach(TARGET)).collect();
-        let c: Vec<Option<f64>> = run.reports.iter().map(|r| r.comm_to_reach(TARGET)).collect();
-        let s: Vec<Option<f64>> = run.reports.iter().map(|r| r.steps_to_reach(TARGET)).collect();
+        let t: Vec<Option<f64>> = run
+            .reports
+            .iter()
+            .map(|r| r.time_to_reach(TARGET))
+            .collect();
+        let c: Vec<Option<f64>> = run
+            .reports
+            .iter()
+            .map(|r| r.comm_to_reach(TARGET))
+            .collect();
+        let s: Vec<Option<f64>> = run
+            .reports
+            .iter()
+            .map(|r| r.steps_to_reach(TARGET))
+            .collect();
         let rx: Vec<Option<f64>> = run
             .reports
             .iter()
@@ -153,9 +165,7 @@ pub fn table3(ctx: &ExperimentCtx, runs: &[SuiteRun]) {
             .map(|&i| {
                 let r = &run.reports[i];
                 let solve = crossing_of(r, TARGET, |rec| rec.msgs_solve as f64 / r.nranks as f64);
-                let res = crossing_of(r, TARGET, |rec| {
-                    rec.msgs_residual as f64 / r.nranks as f64
-                });
+                let res = crossing_of(r, TARGET, |rec| rec.msgs_residual as f64 / r.nranks as f64);
                 (solve, res)
             })
             .collect();
@@ -234,7 +244,12 @@ pub fn table4(ctx: &ExperimentCtx, runs: &[SuiteRun]) {
     write_csv(
         &ctx.out_dir,
         "table4",
-        &["matrix", "method", "mean_step_time_s", "mean_step_comm_cost"],
+        &[
+            "matrix",
+            "method",
+            "mean_step_time_s",
+            "mean_step_comm_cost",
+        ],
         &rows,
     );
 }

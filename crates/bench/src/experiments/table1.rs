@@ -31,8 +31,8 @@ pub fn run_table1(ctx: &ExperimentCtx) -> Vec<InventoryRow> {
     let mut rows = Vec::new();
     println!("\n=== table1 — test problems (paper original → synthetic stand-in) ===");
     println!(
-        "{:<12} {:>12} {:>12} {:>10} {:>12} {:>8} {:>8}  {}",
-        "matrix", "paper nnz", "paper rows", "rows", "nonzeros", "ρ(Jac)", "off>0", "BJ regime"
+        "{:<12} {:>12} {:>12} {:>10} {:>12} {:>8} {:>8}  BJ regime",
+        "matrix", "paper nnz", "paper rows", "rows", "nonzeros", "ρ(Jac)", "off>0"
     );
     for e in suite() {
         let a = ctx.build_suite_matrix(&e);

@@ -111,7 +111,9 @@ impl ExperimentCtx {
             // Subdomain sizes shrink with scale³ for 3D recipes; keep the
             // rank count proportional to the *row* count reduction so
             // subdomain sizes stay in the paper's regime.
-            ((self.ranks as f64) * self.scale * self.scale).ceil().max(4.0) as usize
+            ((self.ranks as f64) * self.scale * self.scale)
+                .ceil()
+                .max(4.0) as usize
         }
     }
 }
@@ -182,12 +184,7 @@ mod tests {
     #[test]
     fn csv_roundtrip() {
         let dir = std::env::temp_dir().join("dsw-csv-test");
-        write_csv(
-            &dir,
-            "t",
-            &["a", "b"],
-            &[vec!["1".into(), "2".into()]],
-        );
+        write_csv(&dir, "t", &["a", "b"], &[vec!["1".into(), "2".into()]]);
         let text = std::fs::read_to_string(dir.join("t.csv")).unwrap();
         assert_eq!(text, "a,b\n1,2\n");
     }

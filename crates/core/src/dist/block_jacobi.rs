@@ -40,6 +40,8 @@ impl BlockJacobiRank {
     }
 }
 
+impl super::recovery::Recoverable for BlockJacobiRank {}
+
 impl RankAlgorithm for BlockJacobiRank {
     type Msg = DistMsg;
 

@@ -33,7 +33,9 @@
 
 use super::layout::LocalSystem;
 use super::local_solver::{LocalSolver, LocalSolverImpl};
-use super::msg::DistMsg;
+use super::msg::{DistMsg, SeqMsg};
+use super::recovery::{Recoverable, RecoveryConfig};
+use super::seq::{SeqIn, SeqVerdict};
 use crate::scalar::beats;
 use dsw_rma::{CommClass, Envelope, PhaseCtx, RankAlgorithm};
 
@@ -61,6 +63,10 @@ pub struct DsConfig {
     /// and because the threshold is relative to the sender's shrinking
     /// residual norm, every contribution is eventually delivered.
     pub solve_msg_threshold: f64,
+    /// Self-healing layer for unreliable transports (sequencing, periodic
+    /// invariant audit, freeze watchdog — see [`RecoveryConfig`]). Off by
+    /// default, which reproduces the paper's protocol and metrics exactly.
+    pub recovery: RecoveryConfig,
 }
 
 impl Default for DsConfig {
@@ -70,6 +76,7 @@ impl Default for DsConfig {
             deadlock_avoidance: true,
             local_solver: LocalSolver::GaussSeidel,
             solve_msg_threshold: 0.0,
+            recovery: RecoveryConfig::off(),
         }
     }
 }
@@ -99,6 +106,32 @@ pub struct DistributedSouthwellRank {
     /// Residual deltas not yet delivered under the variable-threshold
     /// extension (always zero when `solve_msg_threshold == 0`).
     pending_dr: Vec<f64>,
+    // --- self-healing layer (see `super::recovery`) -------------------
+    /// Next outgoing sequence number per neighbor link (sequencing).
+    seq_out: Vec<u64>,
+    /// Incoming sequence state per neighbor link.
+    seq_in: Vec<SeqIn>,
+    /// Sequence number of the last *applied* audit per neighbor; older
+    /// messages from that neighbor are subsumed by the audit snapshot.
+    last_audit_seq: Vec<u64>,
+    /// Ghost *solution* values from audit snapshots, aligned with
+    /// `ls.ext_cols`. Only meaningful where `audit_fresh` holds.
+    ghost_x: Vec<f64>,
+    /// Per neighbor slot: `ghost_x` currently equals that neighbor's true
+    /// boundary solution (set by an applied audit, cleared by any applied
+    /// solve message — the neighbor relaxed after the snapshot).
+    audit_fresh: Vec<bool>,
+    /// Neighbor slot owning each ghost slot (repair coverage check).
+    owner_of_slot: Vec<u32>,
+    /// Parallel steps this rank has executed (audit cadence).
+    steps_done: usize,
+    /// Watchdog flag: force a residual rebroadcast to all neighbors in the
+    /// next phase 1 (set by [`Recoverable::nudge`]).
+    force_rebroadcast: bool,
+    /// Boundary residual rows overwritten by the invariant audit.
+    pub drift_repairs: u64,
+    /// Messages discarded as duplicate / stale / subsumed.
+    pub stale_discards: u64,
 }
 
 impl DistributedSouthwellRank {
@@ -126,6 +159,12 @@ impl DistributedSouthwellRank {
                 let my = norms_sq[ls.rank];
                 let nb = ls.neighbors.len();
                 let g = ls.ext_cols.len();
+                let mut owner_of_slot = vec![0u32; g];
+                for (s, slots) in ls.ghosts_of.iter().enumerate() {
+                    for &slot in slots {
+                        owner_of_slot[slot as usize] = s as u32;
+                    }
+                }
                 DistributedSouthwellRank {
                     solver: LocalSolverImpl::new(cfg.local_solver, &ls),
                     ls,
@@ -138,6 +177,16 @@ impl DistributedSouthwellRank {
                     cfg,
                     ghost_dr: vec![0.0; g],
                     pending_dr: vec![0.0; g],
+                    seq_out: vec![0; nb],
+                    seq_in: vec![SeqIn::new(); nb],
+                    last_audit_seq: vec![0; nb],
+                    ghost_x: vec![0.0; g],
+                    audit_fresh: vec![false; nb],
+                    owner_of_slot,
+                    steps_done: 0,
+                    force_rebroadcast: false,
+                    drift_repairs: 0,
+                    stale_discards: 0,
                 }
             })
             .collect()
@@ -155,53 +204,183 @@ impl DistributedSouthwellRank {
             .all(|(&q, &g)| beats(self.my_norm_sq, self.ls.rank, g, q))
     }
 
-    /// Applies an incoming message: residual deltas (solve only), ghost
-    /// overwrite, `Γ` overwrite, and — subject to the crossing rule —
-    /// `Γ̃` overwrite.
-    fn apply_msg(&mut self, src: usize, msg: &DistMsg) {
-        let s = self.ls.neighbor_slot(src);
-        let (boundary_r, norm_sq, est) = match msg {
-            DistMsg::Solve {
-                dr,
-                boundary_r,
-                norm_sq,
-                est_of_target_sq,
-            } => {
-                for (&li, &d) in self.ls.boundary_rows_to[s].iter().zip(dr) {
-                    self.ls.r[li as usize] += d;
-                }
-                (boundary_r, *norm_sq, *est_of_target_sq)
-            }
-            DistMsg::Residual {
-                boundary_r,
-                norm_sq,
-                est_of_target_sq,
-            } => (boundary_r, *norm_sq, *est_of_target_sq),
+    /// Sequences (when enabled) and puts one protocol message to the
+    /// neighbor in slot `s`.
+    fn send(&mut self, ctx: &mut PhaseCtx<SeqMsg>, s: usize, class: CommClass, body: DistMsg) {
+        let seq = if self.cfg.recovery.sequencing {
+            self.seq_out[s] += 1;
+            self.seq_out[s]
+        } else {
+            0
         };
-        for (&slot, &v) in self.ls.ghosts_of[s].iter().zip(boundary_r) {
-            self.z[slot as usize] = v;
+        let msg = SeqMsg { seq, body };
+        let bytes = msg.wire_bytes();
+        ctx.put(self.ls.neighbors[s], class, msg, bytes);
+    }
+
+    /// Applies one inbox batch with the sequencing verdicts of
+    /// [`super::seq`], then runs the invariant audit repair if any audit
+    /// snapshot was applied.
+    ///
+    /// Without recovery every message judges `FreshNewest` and this is
+    /// exactly Algorithm 3's handling: residual deltas (solve only), ghost
+    /// overwrite, `Γ` overwrite, and — subject to the crossing rule — `Γ̃`
+    /// overwrite. Under sequencing, duplicates are discarded (idempotent
+    /// redelivery), reordered stale messages contribute only their additive
+    /// deltas, and messages older than an applied audit snapshot are
+    /// discarded entirely (the snapshot subsumes their effect).
+    fn apply_inbox(&mut self, inbox: &[Envelope<SeqMsg>], ctx: &mut PhaseCtx<SeqMsg>) {
+        let mut any_audit = false;
+        for env in inbox {
+            let s = self.ls.neighbor_slot(env.src);
+            let seq = env.payload.seq;
+            let verdict = if seq > 0 {
+                self.seq_in[s].judge(seq)
+            } else {
+                SeqVerdict::FreshNewest
+            };
+            if verdict == SeqVerdict::Duplicate || (seq > 0 && seq < self.last_audit_seq[s]) {
+                self.stale_discards += 1;
+                continue;
+            }
+            let newest = verdict == SeqVerdict::FreshNewest;
+            match &env.payload.body {
+                DistMsg::Solve {
+                    dr,
+                    boundary_r,
+                    norm_sq,
+                    est_of_target_sq,
+                } => {
+                    // Additive deltas apply exactly once whatever the order.
+                    for (&li, &d) in self.ls.boundary_rows_to[s].iter().zip(dr) {
+                        self.ls.r[li as usize] += d;
+                    }
+                    // The sender relaxed after its last audit snapshot, so
+                    // the recorded ghost solution no longer matches.
+                    self.audit_fresh[s] = false;
+                    if newest {
+                        for (&slot, &v) in self.ls.ghosts_of[s].iter().zip(boundary_r) {
+                            self.z[slot as usize] = v;
+                        }
+                        self.gamma_sq[s] = *norm_sq;
+                        if !self.sent_prev_phase[s] {
+                            self.tilde_sq[s] = *est_of_target_sq;
+                        }
+                    }
+                }
+                DistMsg::Residual {
+                    boundary_r,
+                    norm_sq,
+                    est_of_target_sq,
+                } => {
+                    if newest {
+                        for (&slot, &v) in self.ls.ghosts_of[s].iter().zip(boundary_r) {
+                            self.z[slot as usize] = v;
+                        }
+                        self.gamma_sq[s] = *norm_sq;
+                        if !self.sent_prev_phase[s] {
+                            self.tilde_sq[s] = *est_of_target_sq;
+                        }
+                    } else {
+                        // Purely state-carrying and outdated: discard.
+                        self.stale_discards += 1;
+                    }
+                }
+                DistMsg::Audit {
+                    boundary_x,
+                    boundary_r,
+                    norm_sq,
+                    est_of_target_sq,
+                } => {
+                    if newest {
+                        for ((&slot, &xv), &rv) in
+                            self.ls.ghosts_of[s].iter().zip(boundary_x).zip(boundary_r)
+                        {
+                            self.ghost_x[slot as usize] = xv;
+                            self.z[slot as usize] = rv;
+                        }
+                        self.gamma_sq[s] = *norm_sq;
+                        if !self.sent_prev_phase[s] {
+                            self.tilde_sq[s] = *est_of_target_sq;
+                        }
+                        if seq > 0 {
+                            self.last_audit_seq[s] = seq;
+                        }
+                        self.audit_fresh[s] = true;
+                        any_audit = true;
+                    } else {
+                        self.stale_discards += 1;
+                    }
+                }
+            }
         }
-        self.gamma_sq[s] = norm_sq;
-        if !self.sent_prev_phase[s] {
-            self.tilde_sq[s] = est;
+        if any_audit {
+            self.audit_repair(ctx);
+        }
+    }
+
+    /// The invariant audit: recompute every boundary residual row whose
+    /// external entries are all covered by fresh audit snapshots, and
+    /// overwrite the maintained value when the drift exceeds the tolerance.
+    /// Interior rows never drift (their residuals change only through the
+    /// exact local relaxation), so the audit is boundary-only.
+    fn audit_repair(&mut self, ctx: &mut PhaseCtx<SeqMsg>) {
+        let tol = self.cfg.recovery.audit_tol;
+        let mut flops = 0u64;
+        for i in 0..self.ls.nrows() {
+            let (k0, k1) = (self.ls.a_ext_ptr[i], self.ls.a_ext_ptr[i + 1]);
+            if k0 == k1 {
+                continue;
+            }
+            let covered = (k0..k1).all(|k| {
+                self.audit_fresh[self.owner_of_slot[self.ls.a_ext_idx[k] as usize] as usize]
+            });
+            if !covered {
+                continue;
+            }
+            let mut r_new = self.ls.b[i];
+            for (j, aij) in self.ls.a_int.row(i) {
+                r_new -= aij * self.ls.x[j];
+            }
+            for k in k0..k1 {
+                r_new -= self.ls.a_ext_val[k] * self.ghost_x[self.ls.a_ext_idx[k] as usize];
+            }
+            flops += 2 * (self.ls.a_int.row_cols(i).len() + (k1 - k0)) as u64;
+            if (r_new - self.ls.r[i]).abs() > tol * (1.0 + r_new.abs()) {
+                self.ls.r[i] = r_new;
+                self.drift_repairs += 1;
+            }
+        }
+        ctx.add_flops(flops);
+    }
+
+    /// The sender-side audit payload for neighbor slot `s`: boundary
+    /// solution and residual values in the agreed ordering.
+    fn audit_body(&self, s: usize) -> DistMsg {
+        DistMsg::Audit {
+            boundary_x: self.ls.boundary_rows_to[s]
+                .iter()
+                .map(|&i| self.ls.x[i as usize])
+                .collect(),
+            boundary_r: self.ls.boundary_residuals(s),
+            norm_sq: self.my_norm_sq,
+            est_of_target_sq: self.gamma_sq[s],
         }
     }
 }
 
 impl RankAlgorithm for DistributedSouthwellRank {
-    type Msg = DistMsg;
+    type Msg = SeqMsg;
 
     fn phases(&self) -> usize {
         2
     }
 
-    fn phase(&mut self, phase: usize, inbox: &[Envelope<DistMsg>], ctx: &mut PhaseCtx<DistMsg>) {
+    fn phase(&mut self, phase: usize, inbox: &[Envelope<SeqMsg>], ctx: &mut PhaseCtx<SeqMsg>) {
         match phase {
             0 => {
                 // Read the deadlock-avoidance updates of the previous step.
-                for env in inbox {
-                    self.apply_msg(env.src, &env.payload);
-                }
+                self.apply_inbox(inbox, ctx);
                 self.sent_prev_phase.iter_mut().for_each(|f| *f = false);
                 self.my_norm_sq = self.ls.residual_norm_sq();
                 self.relaxed_last_step = self.wins();
@@ -252,14 +431,13 @@ impl RankAlgorithm for DistributedSouthwellRank {
                                 v
                             })
                             .collect();
-                        let msg = DistMsg::Solve {
+                        let body = DistMsg::Solve {
                             dr,
                             boundary_r: self.ls.boundary_residuals(s),
                             norm_sq: self.my_norm_sq,
                             est_of_target_sq: self.gamma_sq[s],
                         };
-                        let bytes = msg.wire_bytes();
-                        ctx.put(self.ls.neighbors[s], CommClass::Solve, msg, bytes);
+                        self.send(ctx, s, CommClass::Solve, body);
                         // Record the piggyback: q's estimate of us becomes
                         // our freshly sent norm.
                         self.tilde_sq[s] = self.my_norm_sq;
@@ -269,32 +447,78 @@ impl RankAlgorithm for DistributedSouthwellRank {
             }
             1 => {
                 // Read solve updates from neighbors that relaxed.
-                for env in inbox {
-                    self.apply_msg(env.src, &env.payload);
-                }
+                self.apply_inbox(inbox, ctx);
                 self.sent_prev_phase.iter_mut().for_each(|f| *f = false);
                 self.my_norm_sq = self.ls.residual_norm_sq();
                 ctx.add_flops(2 * self.ls.nrows() as u64);
-                // Deadlock check: any neighbor overestimating us gets one
-                // explicit residual update.
-                if self.cfg.deadlock_avoidance {
+                if self.force_rebroadcast {
+                    // Watchdog response: unconditionally rebroadcast exact
+                    // boundary residuals and norms to every neighbor. This
+                    // restores exact Γ everywhere, so the Southwell
+                    // tie-break elects a winner next step unless the system
+                    // is genuinely converged.
+                    self.force_rebroadcast = false;
+                    for s in 0..self.ls.nneighbors() {
+                        let body = DistMsg::Residual {
+                            boundary_r: self.ls.boundary_residuals(s),
+                            norm_sq: self.my_norm_sq,
+                            est_of_target_sq: self.gamma_sq[s],
+                        };
+                        self.send(ctx, s, CommClass::Recovery, body);
+                        self.tilde_sq[s] = self.my_norm_sq;
+                        self.sent_prev_phase[s] = true;
+                    }
+                } else if self.cfg.deadlock_avoidance {
+                    // Deadlock check: any neighbor overestimating us gets
+                    // one explicit residual update.
                     for s in 0..self.ls.nneighbors() {
                         if self.my_norm_sq < self.tilde_sq[s] {
-                            let msg = DistMsg::Residual {
+                            let body = DistMsg::Residual {
                                 boundary_r: self.ls.boundary_residuals(s),
                                 norm_sq: self.my_norm_sq,
                                 est_of_target_sq: self.gamma_sq[s],
                             };
-                            let bytes = msg.wire_bytes();
-                            ctx.put(self.ls.neighbors[s], CommClass::Residual, msg, bytes);
+                            self.send(ctx, s, CommClass::Residual, body);
                             self.tilde_sq[s] = self.my_norm_sq;
                             self.sent_prev_phase[s] = true;
                         }
                     }
                 }
+                // Periodic invariant audit: snapshot the boundary state to
+                // every neighbor. Sent last in the phase so that on a
+                // reliable link it is the newest message on the wire.
+                if let Some(every) = self.cfg.recovery.audit_every {
+                    if self.steps_done % every == every - 1 {
+                        for s in 0..self.ls.nneighbors() {
+                            let body = self.audit_body(s);
+                            self.send(ctx, s, CommClass::Recovery, body);
+                            self.tilde_sq[s] = self.my_norm_sq;
+                            self.sent_prev_phase[s] = true;
+                        }
+                    }
+                }
+                self.steps_done += 1;
             }
             _ => unreachable!("Distributed Southwell has two phases"),
         }
+    }
+}
+
+impl Recoverable for DistributedSouthwellRank {
+    fn nudge(&mut self) -> bool {
+        if !self.cfg.recovery.watchdog {
+            return false;
+        }
+        self.force_rebroadcast = true;
+        true
+    }
+
+    fn drift_repairs(&self) -> u64 {
+        self.drift_repairs
+    }
+
+    fn stale_discards(&self) -> u64 {
+        self.stale_discards
     }
 }
 
@@ -463,7 +687,10 @@ mod tests {
                 break;
             }
         }
-        let (ds, ps) = (ds_msgs.expect("DS converged"), ps_msgs.expect("PS converged"));
+        let (ds, ps) = (
+            ds_msgs.expect("DS converged"),
+            ps_msgs.expect("PS converged"),
+        );
         assert!(ds < ps, "DS msgs {ds} should be below PS msgs {ps}");
     }
 
@@ -505,6 +732,70 @@ mod tests {
             frozen,
             "expected the no-avoidance variant to freeze before converging"
         );
+    }
+
+    #[test]
+    fn recovery_standard_is_transparent_on_a_reliable_link() {
+        // Full self-healing enabled, but no injected faults: the sequencing
+        // layer must judge every message fresh, and the audit's tolerance
+        // gate must never fire (the maintained residuals are exact, so the
+        // recomputed rows agree to round-off).
+        let cfg = DsConfig {
+            recovery: RecoveryConfig::standard(),
+            ..DsConfig::default()
+        };
+        let (a, b, mut ex) = build_ds(12, 12, 6, cfg);
+        for _ in 0..60 {
+            ex.step();
+        }
+        for r in ex.ranks() {
+            assert_eq!(r.drift_repairs, 0, "rank {}", r.ls.rank);
+            assert_eq!(r.stale_discards, 0, "rank {}", r.ls.rank);
+        }
+        assert!(
+            ex.stats.total_msgs_recovery() > 0,
+            "periodic audits should have been sent"
+        );
+        // The protocol still works: maintained residuals stay exact.
+        let locals: Vec<_> = ex.ranks().iter().map(|r| r.ls.clone()).collect();
+        let x = gather_x(&locals, a.nrows());
+        let r_true = a.residual(&b, &x);
+        let r_kept = crate::dist::layout::gather_r(&locals, a.nrows());
+        for (k, t) in r_kept.iter().zip(&r_true) {
+            assert!((k - t).abs() < 1e-10, "kept {k} vs true {t}");
+        }
+        for _ in 0..1500 {
+            ex.step();
+            if global_norm(&ex, &a, &b) < 1e-8 {
+                return;
+            }
+        }
+        panic!("did not converge with recovery on");
+    }
+
+    #[test]
+    fn sequencing_adds_eight_wire_bytes_per_message() {
+        let base = DsConfig::default();
+        let seq_cfg = DsConfig {
+            recovery: RecoveryConfig {
+                sequencing: true,
+                ..RecoveryConfig::off()
+            },
+            ..DsConfig::default()
+        };
+        let (_, _, mut plain) = build_ds(10, 10, 5, base);
+        let (_, _, mut seq) = build_ds(10, 10, 5, seq_cfg);
+        for _ in 0..10 {
+            plain.step();
+            seq.step();
+        }
+        // Sequencing never changes what is sent, only how it is framed.
+        assert_eq!(plain.stats.total_msgs(), seq.stats.total_msgs());
+        let (pb, sb): (u64, u64) = (
+            plain.stats.steps.iter().map(|s| s.bytes).sum(),
+            seq.stats.steps.iter().map(|s| s.bytes).sum(),
+        );
+        assert_eq!(sb, pb + 8 * seq.stats.total_msgs());
     }
 
     #[test]

@@ -5,11 +5,11 @@
 use super::block_jacobi::BlockJacobiRank;
 use super::distributed_southwell::{DistributedSouthwellRank, DsConfig};
 use super::layout::{distribute, LocalSystem};
-use super::msg::DistMsg;
 use super::parallel_southwell::ParallelSouthwellRank;
+use super::recovery::Recoverable;
 use crate::history::interpolate_crossing;
 use dsw_partition::Partition;
-use dsw_rma::{CostModel, ExecMode, Executor, RankAlgorithm, RunStats};
+use dsw_rma::{ChaosConfig, CostModel, ExecMode, Executor, RankAlgorithm, RunStats};
 use dsw_sparse::{vecops, CsrMatrix};
 
 /// Which distributed method to run.
@@ -56,6 +56,10 @@ pub struct DistOptions {
     /// Stop once the residual exceeds this multiple of the initial norm
     /// (`None` runs through divergence, as the paper's 50-step sweeps do).
     pub divergence_cutoff: Option<f64>,
+    /// Fault injection at the substrate's epoch boundaries (drops,
+    /// duplicates, delays, stalls). [`ChaosConfig::none`] — the default —
+    /// is a perfectly reliable transport.
+    pub chaos: ChaosConfig,
 }
 
 impl Default for DistOptions {
@@ -67,6 +71,7 @@ impl Default for DistOptions {
             exec_mode: ExecMode::Sequential,
             ds_config: DsConfig::default(),
             divergence_cutoff: Some(1e12),
+            chaos: ChaosConfig::none(),
         }
     }
 }
@@ -86,6 +91,8 @@ pub struct StepRecord {
     pub msgs_solve: u64,
     /// Cumulative explicit-residual messages.
     pub msgs_residual: u64,
+    /// Cumulative recovery messages (audits, watchdog rebroadcasts).
+    pub msgs_recovery: u64,
     /// Cumulative modelled wall-clock seconds.
     pub time: f64,
     /// Ranks that relaxed in this step.
@@ -108,10 +115,19 @@ pub struct DistReport {
     /// Step at which the target was first met.
     pub converged_at: Option<usize>,
     /// The run froze: a step moved no data and relaxed nothing, so no
-    /// future step can act (deadlock).
+    /// future step can act (deadlock). With the freeze watchdog enabled
+    /// this is only set after nudging failed to restore progress.
     pub deadlocked: bool,
     /// The residual exceeded 10¹² × initial (divergence cut-off).
     pub diverged: bool,
+    /// Times the freeze watchdog nudged the ranks after an idle step.
+    pub watchdog_nudges: u64,
+    /// Boundary residual rows overwritten by the invariant audit, summed
+    /// over ranks.
+    pub drift_repairs: u64,
+    /// Messages discarded as duplicate / stale / subsumed, summed over
+    /// ranks.
+    pub stale_discards: u64,
     /// Final gathered solution.
     pub x: Vec<f64>,
 }
@@ -185,8 +201,7 @@ pub fn run_method(
     let norms: Vec<f64> = locals.iter().map(|l| l.residual_norm_sq()).collect();
     match method {
         Method::BlockJacobi => {
-            let ranks =
-                BlockJacobiRank::build_with_solver(locals, opts.ds_config.local_solver);
+            let ranks = BlockJacobiRank::build_with_solver(locals, opts.ds_config.local_solver);
             drive(method, ranks, |r| &r.ls, a, b, opts)
         }
         Method::ParallelSouthwell => {
@@ -212,6 +227,14 @@ pub fn run_method(
 }
 
 /// The generic run loop over any solver rank type.
+///
+/// When the run hits a globally idle step (zero relaxations, zero
+/// messages, residual above target) while no rank is stalled, the freeze
+/// watchdog first [`Recoverable::nudge`]s every rank — a nudged solver
+/// forces an explicit residual-norm rebroadcast next step, which restores
+/// exact norms and un-freezes estimate-induced deadlocks. Only when no
+/// rank reacts, or repeated nudges fail to produce a relaxation, is the
+/// run declared deadlocked.
 pub fn drive<R>(
     method: Method,
     ranks: Vec<R>,
@@ -221,11 +244,11 @@ pub fn drive<R>(
     opts: &DistOptions,
 ) -> DistReport
 where
-    R: RankAlgorithm<Msg = DistMsg>,
+    R: RankAlgorithm + Recoverable,
 {
     let n = a.nrows();
     let nranks = ranks.len();
-    let mut ex = Executor::new(ranks, opts.cost_model, opts.exec_mode);
+    let mut ex = Executor::with_chaos(ranks, opts.cost_model, opts.exec_mode, opts.chaos);
 
     let gather = |ex: &Executor<R>| -> Vec<f64> {
         let mut x = vec![0.0; n];
@@ -237,8 +260,7 @@ where
         }
         x
     };
-    let residual_norm =
-        |ex: &Executor<R>| -> f64 { vecops::norm2(&a.residual(b, &gather(ex))) };
+    let residual_norm = |ex: &Executor<R>| -> f64 { vecops::norm2(&a.residual(b, &gather(ex))) };
 
     let initial = residual_norm(&ex);
     let mut records = vec![StepRecord {
@@ -248,12 +270,17 @@ where
         msgs: 0,
         msgs_solve: 0,
         msgs_residual: 0,
+        msgs_recovery: 0,
         time: 0.0,
         active_ranks: 0,
     }];
     let mut converged_at = None;
     let mut deadlocked = false;
     let mut diverged = false;
+    let mut watchdog_nudges = 0u64;
+    // Nudges issued since the last step with an actual relaxation; two
+    // fruitless nudges in a row mean nudging cannot help.
+    let mut nudges_since_relax = 0u32;
 
     for step in 1..=opts.max_steps {
         let s = ex.step();
@@ -266,9 +293,13 @@ where
             msgs: prev.msgs + s.msgs,
             msgs_solve: prev.msgs_solve + s.msgs_solve,
             msgs_residual: prev.msgs_residual + s.msgs_residual,
+            msgs_recovery: prev.msgs_recovery + s.msgs_recovery,
             time: prev.time + s.time,
             active_ranks: s.active_ranks,
         });
+        if s.relaxations > 0 {
+            nudges_since_relax = 0;
+        }
         if converged_at.is_none() {
             if let Some(t) = opts.target_residual {
                 if norm <= t {
@@ -277,9 +308,22 @@ where
                 }
             }
         }
-        if s.relaxations == 0 && s.msgs == 0 {
-            // Nothing moved and nothing is in flight: the state is frozen.
-            deadlocked = norm > opts.target_residual.unwrap_or(0.0).max(1e-300);
+        if s.relaxations == 0 && s.msgs == 0 && s.faults.stalled_ranks == 0 {
+            // Nothing moved and nothing is in flight (a stalled rank could
+            // still hold undelivered puts, hence the third condition).
+            let frozen = norm > opts.target_residual.unwrap_or(0.0).max(1e-300);
+            if frozen && nudges_since_relax < 2 {
+                let mut any = false;
+                for r in ex.ranks_mut() {
+                    any |= r.nudge();
+                }
+                if any {
+                    watchdog_nudges += 1;
+                    nudges_since_relax += 1;
+                    continue;
+                }
+            }
+            deadlocked = frozen;
             break;
         }
         if !norm.is_finite() {
@@ -295,6 +339,8 @@ where
     }
 
     let x = gather(&ex);
+    let drift_repairs = ex.ranks().iter().map(|r| r.drift_repairs()).sum();
+    let stale_discards = ex.ranks().iter().map(|r| r.stale_discards()).sum();
     DistReport {
         method,
         n,
@@ -304,6 +350,9 @@ where
         converged_at,
         deadlocked,
         diverged,
+        watchdog_nudges,
+        drift_repairs,
+        stale_discards,
         x,
     }
 }
@@ -314,11 +363,7 @@ mod tests {
     use dsw_partition::{partition_multilevel, Graph, MultilevelOptions};
     use dsw_sparse::gen;
 
-    fn poisson_setup(
-        nx: usize,
-        ny: usize,
-        p: usize,
-    ) -> (CsrMatrix, Vec<f64>, Vec<f64>, Partition) {
+    fn poisson_setup(nx: usize, ny: usize, p: usize) -> (CsrMatrix, Vec<f64>, Vec<f64>, Partition) {
         let mut a = gen::grid2d_poisson(nx, ny);
         a.scale_unit_diagonal().unwrap();
         let n = a.nrows();
@@ -405,7 +450,10 @@ mod tests {
         let opts = DistOptions::default();
         let rep = run_method(Method::DistributedSouthwell, &a, &b, &x0, &part, &opts);
         let last = rep.records.last().unwrap();
-        assert_eq!(last.msgs, last.msgs_solve + last.msgs_residual);
+        assert_eq!(
+            last.msgs,
+            last.msgs_solve + last.msgs_residual + last.msgs_recovery
+        );
         assert_eq!(rep.stats.total_msgs(), last.msgs);
         assert!((rep.stats.total_time() - last.time).abs() < 1e-12);
         assert!(rep.active_fraction() > 0.0 && rep.active_fraction() <= 1.0);
@@ -415,13 +463,59 @@ mod tests {
     }
 
     #[test]
+    fn watchdog_unfreezes_the_no_avoidance_variant() {
+        // Without deadlock avoidance DS freezes on this setup (see
+        // `no_deadlock_avoidance_can_freeze`). The freeze watchdog's forced
+        // rebroadcast restores exact norms, so the run converges anyway.
+        let (a, b, x0, part) = poisson_setup(16, 16, 8);
+        let base = DistOptions {
+            max_steps: 400,
+            target_residual: Some(1e-6),
+            ds_config: DsConfig {
+                deadlock_avoidance: false,
+                ..DsConfig::default()
+            },
+            ..DistOptions::default()
+        };
+        let frozen = run_method(Method::DistributedSouthwell, &a, &b, &x0, &part, &base);
+        assert!(frozen.deadlocked, "expected the foil to freeze");
+        assert_eq!(frozen.watchdog_nudges, 0);
+
+        let mut healed_opts = base;
+        healed_opts.ds_config.recovery = crate::dist::RecoveryConfig {
+            watchdog: true,
+            ..crate::dist::RecoveryConfig::off()
+        };
+        let healed = run_method(
+            Method::DistributedSouthwell,
+            &a,
+            &b,
+            &x0,
+            &part,
+            &healed_opts,
+        );
+        assert!(
+            healed.converged_at.is_some(),
+            "watchdog should rescue the run: final {}, deadlocked {}",
+            healed.final_residual(),
+            healed.deadlocked
+        );
+        assert!(healed.watchdog_nudges > 0);
+        assert!(healed.stats.total_msgs_recovery() > 0);
+    }
+
+    #[test]
     fn threaded_matches_sequential() {
         let (a, b, x0, part) = poisson_setup(16, 16, 6);
-        let mut o1 = DistOptions::default();
-        o1.max_steps = 20;
-        o1.target_residual = None;
-        let mut o2 = o1;
-        o2.exec_mode = ExecMode::Threaded(3);
+        let o1 = DistOptions {
+            max_steps: 20,
+            target_residual: None,
+            ..DistOptions::default()
+        };
+        let o2 = DistOptions {
+            exec_mode: ExecMode::Threaded(3),
+            ..o1
+        };
         let r1 = run_method(Method::DistributedSouthwell, &a, &b, &x0, &part, &o1);
         let r2 = run_method(Method::DistributedSouthwell, &a, &b, &x0, &part, &o2);
         assert_eq!(r1.x, r2.x, "threaded and sequential must be bit-identical");

@@ -104,8 +104,9 @@ impl LocalSystem {
             for k in self.a_ext_ptr[i]..self.a_ext_ptr[i + 1] {
                 ghost_dr[self.a_ext_idx[k] as usize] -= self.a_ext_val[k] * delta;
             }
-            flops += 2 * (self.a_int.row_cols(i).len() as u64
-                + (self.a_ext_ptr[i + 1] - self.a_ext_ptr[i]) as u64)
+            flops += 2
+                * (self.a_int.row_cols(i).len() as u64
+                    + (self.a_ext_ptr[i + 1] - self.a_ext_ptr[i]) as u64)
                 + 1;
         }
         flops
@@ -129,8 +130,9 @@ impl LocalSystem {
             for k in self.a_ext_ptr[i]..self.a_ext_ptr[i + 1] {
                 ghost_dr[self.a_ext_idx[k] as usize] -= self.a_ext_val[k] * delta;
             }
-            flops += 2 * (self.a_int.row_cols(i).len() as u64
-                + (self.a_ext_ptr[i + 1] - self.a_ext_ptr[i]) as u64)
+            flops += 2
+                * (self.a_int.row_cols(i).len() as u64
+                    + (self.a_ext_ptr[i + 1] - self.a_ext_ptr[i]) as u64)
                 + 1;
         }
         flops
@@ -160,10 +162,14 @@ pub fn distribute(
 ) -> Result<Vec<LocalSystem>, SparseError> {
     let n = a.nrows();
     if a.ncols() != n {
-        return Err(SparseError::Shape("distribute: matrix must be square".into()));
+        return Err(SparseError::Shape(
+            "distribute: matrix must be square".into(),
+        ));
     }
     if b.len() != n || x0.len() != n {
-        return Err(SparseError::Shape("distribute: vector length mismatch".into()));
+        return Err(SparseError::Shape(
+            "distribute: vector length mismatch".into(),
+        ));
     }
     if partition.assignment().len() != n {
         return Err(SparseError::Shape(
@@ -207,11 +213,8 @@ pub fn distribute(
         let mut neighbors: Vec<usize> = ext_cols.iter().map(|&c| owner[c]).collect();
         neighbors.sort_unstable();
         neighbors.dedup();
-        let neighbor_slot: HashMap<usize, usize> = neighbors
-            .iter()
-            .enumerate()
-            .map(|(s, &q)| (q, s))
-            .collect();
+        let neighbor_slot: HashMap<usize, usize> =
+            neighbors.iter().enumerate().map(|(s, &q)| (q, s)).collect();
         let mut ghosts_of = vec![Vec::new(); neighbors.len()];
         for (slot, &c) in ext_cols.iter().enumerate() {
             ghosts_of[neighbor_slot[&owner[c]]].push(slot as u32);

@@ -87,8 +87,7 @@ impl LocalSystem {
             *x += d;
         }
         // Off-process contributions: a_{ji} = a_{ij}.
-        for i in 0..self.nrows() {
-            let d = delta[i];
+        for (i, &d) in delta.iter().enumerate() {
             for k in self.a_ext_ptr[i]..self.a_ext_ptr[i + 1] {
                 ghost_dr[self.a_ext_idx[k] as usize] -= self.a_ext_val[k] * d;
             }
@@ -128,7 +127,10 @@ mod tests {
         for p in 0..locals.len() {
             let (ext, dr) = (locals[p].ext_cols.clone(), all_dr[p].clone());
             for (slot, &g) in ext.iter().enumerate() {
-                let q = locals.iter().position(|l| l.rows.binary_search(&g).is_ok()).unwrap();
+                let q = locals
+                    .iter()
+                    .position(|l| l.rows.binary_search(&g).is_ok())
+                    .unwrap();
                 let li = locals[q].rows.binary_search(&g).unwrap();
                 locals[q].r[li] += dr[slot];
             }

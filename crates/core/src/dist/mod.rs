@@ -9,7 +9,10 @@
 //! * [`distributed_southwell`] — Algorithm 3, the paper's contribution,
 //! * [`driver`] — the run loop with out-of-band residual measurement,
 //!   convergence / divergence / deadlock detection, and the per-step
-//!   records every table and figure of the evaluation is built from.
+//!   records every table and figure of the evaluation is built from,
+//! * [`seq`] / [`recovery`] — the fault-tolerant delivery and protocol
+//!   self-healing layer this reproduction adds for unreliable transports
+//!   (sequence numbers, periodic invariant audits, freeze watchdog).
 
 pub mod block_jacobi;
 pub mod distributed_southwell;
@@ -18,11 +21,15 @@ pub mod layout;
 pub mod local_solver;
 pub mod msg;
 pub mod parallel_southwell;
+pub mod recovery;
+pub mod seq;
 
 pub use block_jacobi::BlockJacobiRank;
 pub use distributed_southwell::{DistributedSouthwellRank, DsConfig};
 pub use driver::{drive, run_method, DistOptions, DistReport, Method, StepRecord};
 pub use layout::{distribute, gather_r, gather_x, LocalSystem};
 pub use local_solver::{LocalSolver, LocalSolverImpl};
-pub use msg::DistMsg;
+pub use msg::{DistMsg, SeqMsg};
 pub use parallel_southwell::ParallelSouthwellRank;
+pub use recovery::{Recoverable, RecoveryConfig};
+pub use seq::{SeqIn, SeqVerdict};

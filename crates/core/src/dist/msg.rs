@@ -34,6 +34,23 @@ pub enum DistMsg {
         /// The sender's estimate of ‖r_receiver‖².
         est_of_target_sq: f64,
     },
+    /// A state snapshot for the periodic invariant audit (recovery traffic —
+    /// this reproduction's self-healing extension, not part of the paper's
+    /// protocol). Carries everything the receiver needs to *recompute* its
+    /// boundary residual rows from scratch instead of trusting the additive
+    /// delta history: the sender's current solution and residual values at
+    /// the boundary facing the receiver, in the agreed ordering.
+    Audit {
+        /// The sender's `x` at its boundary rows facing the receiver — the
+        /// receiver's ghost solution values for the slots the sender owns.
+        boundary_x: Vec<f64>,
+        /// The sender's boundary residuals (ghost-layer `z` resync).
+        boundary_r: Vec<f64>,
+        /// ‖r_sender‖².
+        norm_sq: f64,
+        /// The sender's estimate of ‖r_receiver‖².
+        est_of_target_sq: f64,
+    },
 }
 
 impl DistMsg {
@@ -42,7 +59,40 @@ impl DistMsg {
         match self {
             DistMsg::Solve { dr, boundary_r, .. } => 8 * (dr.len() + boundary_r.len()) as u64 + 16,
             DistMsg::Residual { boundary_r, .. } => 8 * boundary_r.len() as u64 + 16,
+            DistMsg::Audit {
+                boundary_x,
+                boundary_r,
+                ..
+            } => 8 * (boundary_x.len() + boundary_r.len()) as u64 + 16,
         }
+    }
+}
+
+/// A [`DistMsg`] wrapped with a per-(sender, receiver) monotone sequence
+/// number, so receivers can detect gaps, duplicates, and reordering caused
+/// by an unreliable transport (see `dist::seq`).
+///
+/// `seq == 0` means *unsequenced*: the sender runs with the sequencing
+/// layer disabled and the receiver applies the body unconditionally —
+/// exactly the paper's protocol, at zero wire overhead. Real sequence
+/// numbers start at 1 and cost 8 modelled bytes.
+#[derive(Debug, Clone)]
+pub struct SeqMsg {
+    /// Monotone per-link sequence number (0 = unsequenced).
+    pub seq: u64,
+    /// The protocol payload.
+    pub body: DistMsg,
+}
+
+impl SeqMsg {
+    /// Wraps `body` without a sequence number (sequencing disabled).
+    pub fn unsequenced(body: DistMsg) -> Self {
+        SeqMsg { seq: 0, body }
+    }
+
+    /// Modelled wire size: the body plus 8 bytes when sequenced.
+    pub fn wire_bytes(&self) -> u64 {
+        self.body.wire_bytes() + if self.seq > 0 { 8 } else { 0 }
     }
 }
 
@@ -65,5 +115,23 @@ mod tests {
             est_of_target_sq: 0.0,
         };
         assert_eq!(r.wire_bytes(), 16);
+        let a = DistMsg::Audit {
+            boundary_x: vec![0.0; 4],
+            boundary_r: vec![0.0; 4],
+            norm_sq: 1.0,
+            est_of_target_sq: 0.5,
+        };
+        assert_eq!(a.wire_bytes(), 8 * 8 + 16);
+    }
+
+    #[test]
+    fn seq_wrapper_costs_bytes_only_when_sequenced() {
+        let body = DistMsg::Residual {
+            boundary_r: vec![],
+            norm_sq: 1.0,
+            est_of_target_sq: 0.0,
+        };
+        assert_eq!(SeqMsg::unsequenced(body.clone()).wire_bytes(), 16);
+        assert_eq!(SeqMsg { seq: 7, body }.wire_bytes(), 24);
     }
 }

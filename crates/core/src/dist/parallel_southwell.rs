@@ -112,9 +112,17 @@ impl ParallelSouthwellRank {
                 self.gamma_sq[s] = *norm_sq;
                 false
             }
+            // PS has no self-healing layer and never sends audits; an audit
+            // from a foreign protocol still carries a valid norm.
+            DistMsg::Audit { norm_sq, .. } => {
+                self.gamma_sq[s] = *norm_sq;
+                false
+            }
         }
     }
 }
+
+impl super::recovery::Recoverable for ParallelSouthwellRank {}
 
 impl RankAlgorithm for ParallelSouthwellRank {
     type Msg = DistMsg;
@@ -203,7 +211,11 @@ mod tests {
         ny: usize,
         p: usize,
         explicit: bool,
-    ) -> (dsw_sparse::CsrMatrix, Vec<f64>, Executor<ParallelSouthwellRank>) {
+    ) -> (
+        dsw_sparse::CsrMatrix,
+        Vec<f64>,
+        Executor<ParallelSouthwellRank>,
+    ) {
         build_ps_part(nx, ny, p, explicit, false)
     }
 
@@ -213,7 +225,11 @@ mod tests {
         p: usize,
         explicit: bool,
         multilevel: bool,
-    ) -> (dsw_sparse::CsrMatrix, Vec<f64>, Executor<ParallelSouthwellRank>) {
+    ) -> (
+        dsw_sparse::CsrMatrix,
+        Vec<f64>,
+        Executor<ParallelSouthwellRank>,
+    ) {
         let a = gen::grid2d_poisson(nx, ny);
         let n = a.nrows();
         let b = gen::random_rhs(n, 1);
@@ -234,7 +250,11 @@ mod tests {
         (a, b, ex)
     }
 
-    fn global_norm(ex: &Executor<ParallelSouthwellRank>, a: &dsw_sparse::CsrMatrix, b: &[f64]) -> f64 {
+    fn global_norm(
+        ex: &Executor<ParallelSouthwellRank>,
+        a: &dsw_sparse::CsrMatrix,
+        b: &[f64],
+    ) -> f64 {
         let locals: Vec<_> = ex.ranks().iter().map(|r| r.ls.clone()).collect();
         let x = gather_x(&locals, a.nrows());
         dsw_sparse::vecops::norm2(&a.residual(b, &x))

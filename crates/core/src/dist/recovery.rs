@@ -1,0 +1,130 @@
+//! Configuration and driver hooks for the self-healing layer.
+//!
+//! The paper's protocol assumes a reliable transport; this reproduction's
+//! recovery layer makes Distributed Southwell converge on an unreliable one
+//! (message drops, duplicates, delays, rank stalls — see `dsw_rma::fault`).
+//! It has three independent mechanisms:
+//!
+//! 1. **Sequencing** — every put carries a per-link monotone sequence
+//!    number ([`super::seq`]); receivers discard duplicates idempotently
+//!    and apply reordered messages additively-only.
+//! 2. **Periodic invariant audit** — every `audit_every` parallel steps
+//!    each rank snapshots its boundary solution and residual values to all
+//!    neighbors ([`super::msg::DistMsg::Audit`]). Receivers resync their
+//!    ghost layer and *recompute* their boundary residual rows from the
+//!    snapshots, overwriting when the drift exceeds `audit_tol` — healing
+//!    whatever state dropped messages corrupted.
+//! 3. **Freeze watchdog** — when the driver observes a globally idle step
+//!    (no relaxations, no messages, residual above target) it calls
+//!    [`Recoverable::nudge`]; nudged ranks force an explicit residual-norm
+//!    rebroadcast next step, restoring exact norms so the Southwell
+//!    tie-break elects a winner. Deadlock is declared only if nudging
+//!    fails to restore progress.
+//!
+//! All recovery traffic is counted under `CommClass::Recovery`, so its
+//! overhead stays separable from the paper's Table 3 message classes.
+
+/// Knobs of the self-healing layer. Lives in
+/// [`DsConfig`](super::distributed_southwell::DsConfig).
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryConfig {
+    /// Wrap every put in a per-link sequence number (8 modelled bytes) and
+    /// gate application on the receiver's [`super::seq::SeqIn`] verdict.
+    pub sequencing: bool,
+    /// Broadcast an audit snapshot to all neighbors every this many
+    /// parallel steps (`None` disables the audit).
+    pub audit_every: Option<usize>,
+    /// Relative drift tolerance of the audit: a recomputed boundary
+    /// residual row overwrites the maintained value only when they differ
+    /// by more than `audit_tol * (1 + |recomputed|)`, so a fault-free run
+    /// is never perturbed.
+    pub audit_tol: f64,
+    /// React to the driver's freeze watchdog (see [`Recoverable::nudge`]).
+    pub watchdog: bool,
+}
+
+impl RecoveryConfig {
+    /// Everything off — the paper's exact protocol and metrics.
+    pub fn off() -> Self {
+        RecoveryConfig {
+            sequencing: false,
+            audit_every: None,
+            audit_tol: 1e-9,
+            watchdog: false,
+        }
+    }
+
+    /// The standard self-healing preset: sequencing on, audit every 8
+    /// steps, watchdog on.
+    pub fn standard() -> Self {
+        RecoveryConfig {
+            sequencing: true,
+            audit_every: Some(8),
+            audit_tol: 1e-9,
+            watchdog: true,
+        }
+    }
+
+    /// Whether any mechanism is enabled.
+    pub fn is_active(&self) -> bool {
+        self.sequencing || self.audit_every.is_some() || self.watchdog
+    }
+}
+
+impl Default for RecoveryConfig {
+    /// Defaults to [`RecoveryConfig::off`]: recovery never changes the
+    /// paper's measurements unless asked for.
+    fn default() -> Self {
+        RecoveryConfig::off()
+    }
+}
+
+/// Driver-side hooks a rank algorithm may implement to participate in
+/// recovery. Every method has a no-op default, so solvers without a
+/// self-healing layer (Block Jacobi, Parallel Southwell) satisfy the trait
+/// as-is.
+pub trait Recoverable {
+    /// Called by the driver after a globally idle step (zero relaxations,
+    /// zero messages, residual above target). A rank that can react — e.g.
+    /// by forcing a residual-norm rebroadcast next step — returns `true`;
+    /// the driver declares deadlock only when no rank reacts or repeated
+    /// nudges fail to restore progress.
+    fn nudge(&mut self) -> bool {
+        false
+    }
+
+    /// Boundary residual rows overwritten by the invariant audit so far.
+    fn drift_repairs(&self) -> u64 {
+        0
+    }
+
+    /// Messages discarded as duplicate / stale / subsumed so far.
+    fn stale_discards(&self) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        assert!(!RecoveryConfig::off().is_active());
+        assert!(!RecoveryConfig::default().is_active());
+        let std = RecoveryConfig::standard();
+        assert!(std.is_active());
+        assert!(std.sequencing && std.watchdog);
+        assert_eq!(std.audit_every, Some(8));
+    }
+
+    #[test]
+    fn default_hooks_are_noops() {
+        struct Plain;
+        impl Recoverable for Plain {}
+        let mut p = Plain;
+        assert!(!p.nudge());
+        assert_eq!(p.drift_repairs(), 0);
+        assert_eq!(p.stale_discards(), 0);
+    }
+}

@@ -1,0 +1,258 @@
+//! Per-link sequence tracking for fault-tolerant delivery.
+//!
+//! The simulated RMA transport can drop, duplicate, or delay puts (see
+//! `dsw_rma::fault`). The paper's protocol assumes exactly-once in-order
+//! delivery, so the recovery layer wraps every put in a
+//! [`SeqMsg`](super::msg::SeqMsg) carrying a per-(sender, receiver)
+//! monotone sequence number, and the receiver classifies each arrival with
+//! [`SeqIn::judge`]:
+//!
+//! * **`FreshNewest`** — never seen, and newer than everything seen from
+//!   this sender: apply fully (additive deltas *and* state overwrites).
+//! * **`FreshStale`** — never seen, but an even newer message was already
+//!   applied (reordering): apply only the *additive* content; the state
+//!   overwrites (ghost layer, norm estimates) would rewind fresher data.
+//! * **`Duplicate`** — already applied (or expired): discard, which makes
+//!   redelivery idempotent.
+//!
+//! A gap (sequence numbers skipped by a `FreshNewest` arrival) is
+//! remembered so a late original can still be recognized as `FreshStale`
+//! rather than `Duplicate`. Gap memory is bounded: under sustained drops
+//! the oldest outstanding gaps are forgotten, after which an extremely late
+//! original is treated as a duplicate — by then the periodic audit has
+//! re-synchronized the state it would have patched.
+
+/// Verdict for one arriving sequenced message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeqVerdict {
+    /// First delivery, newest from this sender: apply everything.
+    FreshNewest,
+    /// First delivery, but out of order: apply additive content only.
+    FreshStale,
+    /// Redelivery (or expired gap): discard.
+    Duplicate,
+}
+
+/// Maximum remembered outstanding gaps per link. Oldest entries are
+/// forgotten beyond this, bounding memory under sustained message loss.
+const MAX_GAPS: usize = 1024;
+
+/// Receiver-side sequence state for one (sender → receiver) link.
+#[derive(Debug, Clone, Default)]
+pub struct SeqIn {
+    /// Highest sequence number applied so far (0 = nothing yet).
+    max_seen: u64,
+    /// Sequence numbers below `max_seen` that never arrived.
+    gaps: Vec<u64>,
+}
+
+impl SeqIn {
+    /// Fresh link state.
+    pub fn new() -> Self {
+        SeqIn::default()
+    }
+
+    /// Classifies sequence number `seq` (must be > 0) and updates the
+    /// link state.
+    pub fn judge(&mut self, seq: u64) -> SeqVerdict {
+        debug_assert!(seq > 0, "sequence numbers start at 1");
+        if seq > self.max_seen {
+            for missing in self.max_seen + 1..seq {
+                self.gaps.push(missing);
+            }
+            if self.gaps.len() > MAX_GAPS {
+                let excess = self.gaps.len() - MAX_GAPS;
+                self.gaps.drain(..excess);
+            }
+            self.max_seen = seq;
+            SeqVerdict::FreshNewest
+        } else if let Some(pos) = self.gaps.iter().position(|&g| g == seq) {
+            self.gaps.swap_remove(pos);
+            SeqVerdict::FreshStale
+        } else {
+            SeqVerdict::Duplicate
+        }
+    }
+
+    /// Highest sequence number applied so far.
+    pub fn max_seen(&self) -> u64 {
+        self.max_seen
+    }
+
+    /// Outstanding gaps: messages known lost or still in flight.
+    pub fn outstanding(&self) -> usize {
+        self.gaps.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_is_always_fresh_newest() {
+        let mut s = SeqIn::new();
+        for seq in 1..=10 {
+            assert_eq!(s.judge(seq), SeqVerdict::FreshNewest);
+        }
+        assert_eq!(s.max_seen(), 10);
+        assert_eq!(s.outstanding(), 0);
+    }
+
+    #[test]
+    fn duplicates_are_flagged() {
+        let mut s = SeqIn::new();
+        assert_eq!(s.judge(1), SeqVerdict::FreshNewest);
+        assert_eq!(s.judge(1), SeqVerdict::Duplicate);
+        assert_eq!(s.judge(2), SeqVerdict::FreshNewest);
+        assert_eq!(s.judge(2), SeqVerdict::Duplicate);
+        assert_eq!(s.judge(1), SeqVerdict::Duplicate);
+    }
+
+    #[test]
+    fn late_original_fills_gap_exactly_once() {
+        let mut s = SeqIn::new();
+        assert_eq!(s.judge(1), SeqVerdict::FreshNewest);
+        // 2 and 3 skipped.
+        assert_eq!(s.judge(4), SeqVerdict::FreshNewest);
+        assert_eq!(s.outstanding(), 2);
+        // The delayed originals surface out of order.
+        assert_eq!(s.judge(3), SeqVerdict::FreshStale);
+        assert_eq!(s.judge(2), SeqVerdict::FreshStale);
+        assert_eq!(s.outstanding(), 0);
+        // ... and their duplicates are rejected.
+        assert_eq!(s.judge(3), SeqVerdict::Duplicate);
+        assert_eq!(s.judge(2), SeqVerdict::Duplicate);
+    }
+
+    #[test]
+    fn dropped_message_stays_an_outstanding_gap() {
+        let mut s = SeqIn::new();
+        s.judge(1);
+        s.judge(3);
+        assert_eq!(s.outstanding(), 1);
+        s.judge(4);
+        assert_eq!(s.outstanding(), 1, "gap 2 never arrives");
+    }
+
+    #[test]
+    fn gap_memory_is_bounded() {
+        let mut s = SeqIn::new();
+        // One huge jump: far more gaps than the cap.
+        assert_eq!(s.judge(2 * MAX_GAPS as u64), SeqVerdict::FreshNewest);
+        assert_eq!(s.outstanding(), MAX_GAPS);
+        // The oldest gaps were forgotten: their late originals now read as
+        // duplicates (idempotent discard), the youngest are still tracked.
+        assert_eq!(s.judge(1), SeqVerdict::Duplicate);
+        assert_eq!(s.judge(2 * MAX_GAPS as u64 - 1), SeqVerdict::FreshStale);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    //! Property tests: against *any* adversarial delivery schedule made of
+    //! duplication, reordering, and delay (but fewer outstanding gaps than
+    //! the memory cap), [`SeqIn`] reconstructs exactly-once semantics — the
+    //! set of fresh-applied messages equals the set of distinct delivered
+    //! ones, and `FreshNewest` verdicts are strictly newest-first.
+
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Builds a delivery schedule from per-sequence copy counts (0 =
+    /// dropped entirely) and shuffles it with a deterministic xorshift, so
+    /// each case is an arbitrary interleaving of duplicates and delays.
+    fn schedule(copies: &[usize], shuffle_seed: u64) -> Vec<u64> {
+        let mut deliveries: Vec<u64> = Vec::new();
+        for (i, &c) in copies.iter().enumerate() {
+            for _ in 0..c {
+                deliveries.push(i as u64 + 1);
+            }
+        }
+        let mut state = shuffle_seed | 1;
+        let mut rand = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for i in (1..deliveries.len()).rev() {
+            deliveries.swap(i, (rand() % (i as u64 + 1)) as usize);
+        }
+        deliveries
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn any_interleaving_yields_exactly_once(
+            copies in collection::vec(0usize..4, 1..48),
+            shuffle_seed in 0u64..u64::MAX,
+        ) {
+            let deliveries = schedule(&copies, shuffle_seed);
+            let mut link = SeqIn::new();
+            let mut fresh_count = vec![0usize; copies.len()];
+            let mut applied_sum = 0u64; // models an additive delta payload
+            let mut last_newest = 0u64;
+            for &seq in &deliveries {
+                match link.judge(seq) {
+                    SeqVerdict::FreshNewest => {
+                        prop_assert!(
+                            seq > last_newest,
+                            "FreshNewest must be strictly newest-first: {seq} after {last_newest}"
+                        );
+                        last_newest = seq;
+                        fresh_count[seq as usize - 1] += 1;
+                        applied_sum += seq;
+                    }
+                    SeqVerdict::FreshStale => {
+                        fresh_count[seq as usize - 1] += 1;
+                        applied_sum += seq;
+                    }
+                    SeqVerdict::Duplicate => {}
+                }
+            }
+            // Exactly-once: every delivered message is applied once, every
+            // dropped one not at all, regardless of the interleaving.
+            for (i, &c) in copies.iter().enumerate() {
+                let expect = usize::from(c > 0);
+                prop_assert_eq!(
+                    fresh_count[i], expect,
+                    "seq {} delivered {} times applied {} times",
+                    i + 1, c, fresh_count[i]
+                );
+            }
+            // The applied state equals in-order exactly-once delivery of
+            // the messages that survived at all.
+            let in_order: u64 = copies
+                .iter()
+                .enumerate()
+                .filter(|&(_, &c)| c > 0)
+                .map(|(i, _)| i as u64 + 1)
+                .sum();
+            prop_assert_eq!(applied_sum, in_order);
+            prop_assert_eq!(link.max_seen(), last_newest);
+        }
+
+        #[test]
+        fn outstanding_counts_the_undelivered_below_newest(
+            copies in collection::vec(0usize..3, 1..40),
+            shuffle_seed in 0u64..u64::MAX,
+        ) {
+            let deliveries = schedule(&copies, shuffle_seed);
+            let mut link = SeqIn::new();
+            for &seq in &deliveries {
+                link.judge(seq);
+            }
+            let newest = deliveries.iter().copied().max().unwrap_or(0);
+            let lost = copies
+                .iter()
+                .enumerate()
+                .filter(|&(i, &c)| c == 0 && (i as u64 + 1) < newest)
+                .count();
+            prop_assert_eq!(link.outstanding(), lost);
+            prop_assert_eq!(link.max_seen(), newest);
+        }
+    }
+}

@@ -107,7 +107,7 @@ mod tests {
             record_stride: 1,
             seed: 0,
         };
-        let (_, h) = gauss_seidel(&a, &b, &vec![0.0; 16], &opts);
+        let (_, h) = gauss_seidel(&a, &b, &[0.0; 16], &opts);
         assert_eq!(h.total_relaxations, 23);
     }
 }

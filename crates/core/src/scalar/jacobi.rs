@@ -77,7 +77,7 @@ mod tests {
             record_stride: n,
             seed: 0,
         };
-        let (_, h) = jacobi(&a, &b, &vec![0.0; 25], &opts);
+        let (_, h) = jacobi(&a, &b, &[0.0; 25], &opts);
         assert_eq!(h.total_relaxations, 3 * n);
         assert_eq!(h.parallel_steps(), 3);
     }

@@ -120,7 +120,9 @@ impl<'a> ScalarState<'a> {
             relaxations: self.relaxations,
             residual_norm: norm,
         });
-        self.next_sample = self.relaxations + self.stride;
+        // Saturating: `record_stride: u64::MAX` means "never sample again"
+        // and must not wrap around.
+        self.next_sample = self.relaxations.saturating_add(self.stride);
     }
 
     /// Records a sample if the stride has elapsed; returns the residual
@@ -200,7 +202,7 @@ mod tests {
         let a = gen::grid2d_poisson(3, 3);
         let b = gen::random_rhs(9, 1);
         let opts = ScalarOptions::sweeps(9, 1.0);
-        let mut st = ScalarState::new(&a, &b, &vec![0.0; 9], &opts);
+        let mut st = ScalarState::new(&a, &b, &[0.0; 9], &opts);
         st.relax_row(4);
         assert!(st.r[4].abs() < 1e-15);
         // The maintained residual still equals b - Ax.
@@ -220,7 +222,7 @@ mod tests {
             record_stride: 4,
             seed: 0,
         };
-        let mut st = ScalarState::new(&a, &b, &vec![0.0; 16], &opts);
+        let mut st = ScalarState::new(&a, &b, &[0.0; 16], &opts);
         for i in 0..8 {
             st.relax_row(i % 16);
             st.sample_if_due();

@@ -81,8 +81,7 @@ mod tests {
         let coloring = greedy_coloring_bfs(&g);
         assert_eq!(coloring.ncolors, 2); // bipartite 5-point grid
         let opts = ScalarOptions::sweeps(n, 1.0);
-        let (_, h) =
-            multicolor_gauss_seidel_with_coloring(&a, &b, &vec![0.0; n], &opts, &coloring);
+        let (_, h) = multicolor_gauss_seidel_with_coloring(&a, &b, &vec![0.0; n], &opts, &coloring);
         assert_eq!(h.parallel_steps(), 2);
         assert_eq!(h.total_relaxations, n as u64);
     }

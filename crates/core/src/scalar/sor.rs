@@ -94,12 +94,7 @@ pub fn damped_jacobi(
     let mut st = ScalarState::new(a, b, x0, opts);
     let diag = a.diagonal().expect("square matrix");
     while st.relaxations + (n as u64) <= opts.max_relaxations {
-        let delta: Vec<f64> = st
-            .r
-            .iter()
-            .zip(&diag)
-            .map(|(r, d)| omega * r / d)
-            .collect();
+        let delta: Vec<f64> = st.r.iter().zip(&diag).map(|(r, d)| omega * r / d).collect();
         for (xi, di) in st.x.iter_mut().zip(&delta) {
             *xi += di;
         }
@@ -216,6 +211,6 @@ mod tests {
     fn sor_rejects_bad_omega() {
         let (a, b, _) = poisson_system(3, 3);
         let opts = ScalarOptions::sweeps(9, 1.0);
-        sor(&a, &b, &vec![0.0; 9], 2.5, &opts);
+        sor(&a, &b, &[0.0; 9], 2.5, &opts);
     }
 }

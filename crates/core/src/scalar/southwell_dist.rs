@@ -77,7 +77,8 @@ impl EdgeState {
                     continue;
                 }
                 let k = base + off;
-                let pos = a.row_cols(j)
+                let pos = a
+                    .row_cols(j)
                     .binary_search(&i)
                     .expect("matrix must be structurally symmetric");
                 recip[k] = a.row_ptr()[j] + pos;
@@ -330,7 +331,10 @@ mod tests {
         let rep = distributed_southwell_scalar(&a, &b, &x0, &opts);
         assert!(rep.diverged, "expected the documented Jacobi degeneration");
         // The widened selection is visible as near-n relaxations per step.
-        let last_steps: Vec<u64> = rep.history.step_boundaries.windows(2)
+        let last_steps: Vec<u64> = rep
+            .history
+            .step_boundaries
+            .windows(2)
             .map(|w| w[1] - w[0])
             .collect();
         assert!(*last_steps.last().unwrap() as usize >= n / 2);
@@ -376,7 +380,8 @@ mod tests {
         let x0 = vec![0.0; n];
         let rep = distributed_southwell_scalar(&a, &b, &x0, &opts);
         let (_, hp) = crate::scalar::parallel_southwell(&a, &b, &x0, &opts);
-        let ds_per_step = rep.history.total_relaxations as f64 / rep.history.parallel_steps() as f64;
+        let ds_per_step =
+            rep.history.total_relaxations as f64 / rep.history.parallel_steps() as f64;
         let ps_per_step = hp.total_relaxations as f64 / hp.parallel_steps() as f64;
         assert!(
             ds_per_step > ps_per_step,

@@ -128,7 +128,8 @@ impl Multigrid {
         // Pre-smooth.
         {
             let lev = &mut self.levels[l];
-            self.smoother.smooth(&lev.a, &lev.rhs, &mut lev.sol, l as u64);
+            self.smoother
+                .smooth(&lev.a, &lev.rhs, &mut lev.sol, l as u64);
         }
         // Restrict the residual.
         let (fine_dim, coarse_dim) = (self.levels[l].dim, self.levels[l + 1].dim);

@@ -30,7 +30,10 @@ pub fn prolong(coarse: &[f64], cd: usize, fd: usize) -> Vec<f64> {
                 (1, 0) => 0.5 * (cval(ic, jc) + cval(ic + 1, jc)),
                 (0, 1) => 0.5 * (cval(ic, jc) + cval(ic, jc + 1)),
                 (1, 1) => {
-                    0.25 * (cval(ic, jc) + cval(ic + 1, jc) + cval(ic, jc + 1) + cval(ic + 1, jc + 1))
+                    0.25 * (cval(ic, jc)
+                        + cval(ic + 1, jc)
+                        + cval(ic, jc + 1)
+                        + cval(ic + 1, jc + 1))
                 }
                 _ => unreachable!(),
             };
@@ -97,7 +100,7 @@ mod tests {
         let cd = 3;
         let fd = 7;
         let mut coarse = vec![0.0; 9];
-        coarse[1 * 3 + 2] = 5.0; // coarse (2,1) -> fine (5,3)
+        coarse[3 + 2] = 5.0; // coarse (2,1) -> fine (5,3)
         let fine = prolong(&coarse, cd, fd);
         assert_eq!(fine[3 * fd + 5], 5.0);
     }
@@ -124,7 +127,7 @@ mod tests {
         let cd = 3;
         let fine = vec![1.0; fd * fd];
         let coarse = restrict(&fine, fd, cd);
-        assert_eq!(coarse[1 * cd + 1], 4.0);
+        assert_eq!(coarse[cd + 1], 4.0);
     }
 
     #[test]

@@ -22,6 +22,5 @@ pub mod partitioner;
 pub use coloring::{greedy_coloring_bfs, Coloring};
 pub use graph::Graph;
 pub use partitioner::{
-    partition_greedy_growing, partition_multilevel, partition_strip, MultilevelOptions,
-    Partition,
+    partition_greedy_growing, partition_multilevel, partition_strip, MultilevelOptions, Partition,
 };

@@ -372,9 +372,9 @@ fn coarsen_hem(g: &Graph, rng: &mut StdRng) -> (Graph, Vec<usize>) {
         members[coarse_of[v]].push(v);
     }
     let mut scratch_pos = vec![usize::MAX; nc]; // coarse neighbor -> slot
-    for c in 0..nc {
+    for (c, mem) in members.iter().enumerate() {
         let start = adjncy.len();
-        for &v in &members[c] {
+        for &v in mem {
             for (w, ew) in g.edges(v) {
                 let cw = coarse_of[w];
                 if cw == c {

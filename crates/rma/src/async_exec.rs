@@ -17,7 +17,8 @@
 //! it.
 
 use crate::executor::{Envelope, PhaseCtx, RankAlgorithm};
-use crate::stats::RunStats;
+use crate::fault::{ChaosConfig, FaultInjector};
+use crate::stats::{RunStats, StepStats};
 
 /// Scheduling options for the asynchronous executor.
 #[derive(Debug, Clone, Copy)]
@@ -52,6 +53,12 @@ pub struct AsyncExecutor<A: RankAlgorithm> {
     inboxes: Vec<Vec<Envelope<A::Msg>>>,
     opts: AsyncOptions,
     rng_state: u64,
+    /// Fault decisions for messages crossing tick boundaries.
+    injector: FaultInjector,
+    /// Messages deferred by delay injection: `(due_tick, target, env)`.
+    delayed: Vec<(u64, usize, Envelope<A::Msg>)>,
+    /// Completed scheduler ticks.
+    ticks: u64,
     /// Aggregate statistics (time model is not meaningful here; only
     /// message counts are tracked).
     pub stats: RunStats,
@@ -60,22 +67,49 @@ pub struct AsyncExecutor<A: RankAlgorithm> {
 impl<A: RankAlgorithm> AsyncExecutor<A> {
     /// Creates an asynchronous executor.
     pub fn new(ranks: Vec<A>, opts: AsyncOptions) -> Self {
+        Self::with_chaos(ranks, opts, ChaosConfig::none())
+            .expect("a no-fault config is always accepted")
+    }
+
+    /// As [`new`](Self::new), with message fault injection (drops,
+    /// duplicates, delays — delays are measured in scheduler ticks here).
+    ///
+    /// Stall injection is rejected: stalls are defined in terms of the
+    /// lock-step parallel step, which this executor does not have. Model
+    /// stragglers with `advance_probability` / `max_lag` instead.
+    pub fn with_chaos(
+        ranks: Vec<A>,
+        opts: AsyncOptions,
+        chaos: ChaosConfig,
+    ) -> Result<Self, String> {
         assert!(!ranks.is_empty(), "need at least one rank");
         assert!(
             (0.0..=1.0).contains(&opts.advance_probability),
             "advance_probability must be a probability"
         );
         assert!(opts.max_lag >= 1, "max_lag must be at least 1");
+        chaos.validate()?;
+        if chaos.stalls_active() {
+            return Err(
+                "AsyncExecutor does not support stall injection (stalls are defined per \
+                 lock-step parallel step); set stall_rate = 0 and model stragglers with \
+                 AsyncOptions::advance_probability / max_lag instead"
+                    .to_string(),
+            );
+        }
         let n = ranks.len();
-        AsyncExecutor {
+        Ok(AsyncExecutor {
+            injector: FaultInjector::new(chaos, n),
             ranks,
             clock: vec![0; n],
             pending: (0..n).map(|_| Vec::new()).collect(),
             inboxes: (0..n).map(|_| Vec::new()).collect(),
             opts,
             rng_state: opts.seed.wrapping_mul(0x9e3779b97f4a7c15) | 1,
+            delayed: Vec::new(),
+            ticks: 0,
             stats: RunStats::new(n),
-        }
+        })
     }
 
     fn next_f64(&mut self) -> f64 {
@@ -105,7 +139,7 @@ impl<A: RankAlgorithm> AsyncExecutor<A> {
         let nphases = self.ranks[0].phases();
         let min_clock = *self.clock.iter().min().unwrap();
         let mut advanced = 0;
-        let mut total_msgs = 0u64;
+        let mut step = StepStats::default();
         // Messages produced this tick are held back until the tick ends, so
         // a rank never sees a same-tick neighbor's output mid-flight (the
         // window rule: data lands between the target's phases).
@@ -119,27 +153,62 @@ impl<A: RankAlgorithm> AsyncExecutor<A> {
             }
             // Phase boundary for rank i: absorb pending messages, run.
             let mut inbox = std::mem::take(&mut self.inboxes[i]);
-            inbox.extend(self.pending[i].drain(..));
+            inbox.append(&mut self.pending[i]);
             // Deterministic order regardless of arrival interleaving.
             inbox.sort_by_key(|e| e.src);
             let phase = self.clock[i] % nphases;
             let mut ctx = PhaseCtx::new_for_async(i);
             self.ranks[i].phase(phase, &inbox, &mut ctx);
-            let (outbox, msgs) = ctx.into_outbox_and_count();
-            self.stats.msgs_per_rank[i] += msgs;
-            total_msgs += msgs;
+            let (outbox, totals) = ctx.into_outbox_and_totals();
+            self.stats.msgs_per_rank[i] += totals.msgs;
+            step.msgs += totals.msgs;
+            step.msgs_solve += totals.msgs_solve;
+            step.msgs_residual += totals.msgs_residual;
+            step.msgs_recovery += totals.msgs_recovery;
+            step.bytes += totals.bytes;
+            step.flops += totals.flops;
+            step.relaxations += totals.relaxations;
+            step.active_ranks += u64::from(totals.active);
             tick_out.extend(outbox);
             self.clock[i] += 1;
             advanced += 1;
         }
+        // Fault injection at the tick boundary (the serialized delivery
+        // point, analogous to the superstep executor's epoch close).
         for (target, env) in tick_out {
-            self.pending[target].push(env);
+            let fate = self.injector.fate(env.class);
+            if fate.dropped {
+                step.faults.dropped.add(env.class, 1);
+                continue;
+            }
+            if fate.duplicated {
+                step.faults.duplicated.add(env.class, 1);
+                self.pending[target].push(env.clone());
+            }
+            if fate.delay > 0 {
+                step.faults.delayed.add(env.class, 1);
+                self.delayed
+                    .push((self.ticks + fate.delay as u64, target, env));
+            } else {
+                self.pending[target].push(env);
+            }
         }
+        // Surface deferred messages whose delay expired this tick.
+        if !self.delayed.is_empty() {
+            let due = self.ticks;
+            let mut i = 0;
+            while i < self.delayed.len() {
+                if self.delayed[i].0 <= due {
+                    let (_, target, env) = self.delayed.remove(i);
+                    self.pending[target].push(env);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        self.ticks += 1;
         // Record a pseudo-step for the counters.
-        self.stats.steps.push(crate::stats::StepStats {
-            msgs: total_msgs,
-            ..Default::default()
-        });
+        self.stats.steps.push(step);
         advanced
     }
 
@@ -176,12 +245,7 @@ mod tests {
         fn phases(&self) -> usize {
             1
         }
-        fn phase(
-            &mut self,
-            _phase: usize,
-            inbox: &[Envelope<u64>],
-            ctx: &mut PhaseCtx<u64>,
-        ) {
+        fn phase(&mut self, _phase: usize, inbox: &[Envelope<u64>], ctx: &mut PhaseCtx<u64>) {
             for e in inbox {
                 self.value += e.payload;
             }
@@ -191,13 +255,7 @@ mod tests {
 
     #[test]
     fn async_ring_makes_progress_under_lag_bound() {
-        let ranks: Vec<Ring> = (0..5)
-            .map(|id| Ring {
-                id,
-                n: 5,
-                value: 1,
-            })
-            .collect();
+        let ranks: Vec<Ring> = (0..5).map(|id| Ring { id, n: 5, value: 1 }).collect();
         let mut ex = AsyncExecutor::new(ranks, AsyncOptions::default());
         let ticks = ex.run_steps(10, 10_000);
         assert!(ticks < 10_000, "should reach 10 steps quickly");
@@ -213,13 +271,7 @@ mod tests {
     #[test]
     fn async_scheduling_is_deterministic_per_seed() {
         let mk = || {
-            let ranks: Vec<Ring> = (0..4)
-                .map(|id| Ring {
-                    id,
-                    n: 4,
-                    value: 1,
-                })
-                .collect();
+            let ranks: Vec<Ring> = (0..4).map(|id| Ring { id, n: 4, value: 1 }).collect();
             AsyncExecutor::new(ranks, AsyncOptions::default())
         };
         let mut a = mk();
@@ -234,13 +286,7 @@ mod tests {
 
     #[test]
     fn zero_probability_never_advances() {
-        let ranks: Vec<Ring> = (0..3)
-            .map(|id| Ring {
-                id,
-                n: 3,
-                value: 1,
-            })
-            .collect();
+        let ranks: Vec<Ring> = (0..3).map(|id| Ring { id, n: 3, value: 1 }).collect();
         let mut ex = AsyncExecutor::new(
             ranks,
             AsyncOptions {
@@ -250,5 +296,54 @@ mod tests {
         );
         assert_eq!(ex.tick(), 0);
         assert_eq!(ex.clocks(), &[0, 0, 0]);
+    }
+
+    #[test]
+    fn stall_config_rejected_with_clear_error() {
+        let ranks: Vec<Ring> = (0..2).map(|id| Ring { id, n: 2, value: 1 }).collect();
+        let chaos = ChaosConfig {
+            stall_rate: 0.5,
+            stall_steps: 2,
+            ..ChaosConfig::none()
+        };
+        let err = AsyncExecutor::with_chaos(ranks, AsyncOptions::default(), chaos)
+            .err()
+            .expect("stall config must be rejected");
+        assert!(
+            err.contains("stall"),
+            "error should name the problem: {err}"
+        );
+        assert!(
+            err.contains("advance_probability"),
+            "error should point at the supported alternative: {err}"
+        );
+    }
+
+    #[test]
+    fn async_message_faults_deterministic_and_counted() {
+        let chaos = ChaosConfig {
+            drop_rate: 0.2,
+            duplicate_rate: 0.2,
+            delay_rate: 0.2,
+            max_delay_epochs: 3,
+            seed: 9,
+            ..ChaosConfig::none()
+        };
+        let mk = || {
+            let ranks: Vec<Ring> = (0..4).map(|id| Ring { id, n: 4, value: 1 }).collect();
+            AsyncExecutor::with_chaos(ranks, AsyncOptions::default(), chaos).unwrap()
+        };
+        let mut a = mk();
+        let mut b = mk();
+        a.run_steps(12, 1000);
+        b.run_steps(12, 1000);
+        let va: Vec<u64> = a.ranks().iter().map(|r| r.value).collect();
+        let vb: Vec<u64> = b.ranks().iter().map(|r| r.value).collect();
+        assert_eq!(va, vb, "fault pattern must be deterministic per seed");
+        let faults = a.stats.total_faults();
+        assert!(faults.dropped.total() > 0);
+        assert!(faults.duplicated.total() > 0);
+        assert!(faults.delayed.total() > 0);
+        assert_eq!(faults.stalled_ranks, 0);
     }
 }

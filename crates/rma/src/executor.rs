@@ -1,5 +1,6 @@
 //! The superstep executor: epochs, puts, delivery, counters.
 
+use crate::fault::{ChaosConfig, FaultInjector};
 use crate::stats::{CommClass, CostModel, RunStats, StepStats};
 
 /// A message as it sits in a target rank's memory window.
@@ -21,13 +22,20 @@ pub struct Envelope<M> {
 pub struct PhaseCtx<M> {
     rank: usize,
     outbox: Vec<(usize, Envelope<M>)>,
-    msgs: u64,
-    msgs_solve: u64,
-    msgs_residual: u64,
-    bytes: u64,
-    flops: u64,
-    relaxations: u64,
-    active: bool,
+    totals: PhaseTotals,
+}
+
+/// Per-rank, per-phase counters the executor folds into [`StepStats`].
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct PhaseTotals {
+    pub msgs: u64,
+    pub msgs_solve: u64,
+    pub msgs_residual: u64,
+    pub msgs_recovery: u64,
+    pub bytes: u64,
+    pub flops: u64,
+    pub relaxations: u64,
+    pub active: bool,
 }
 
 impl<M> PhaseCtx<M> {
@@ -35,13 +43,7 @@ impl<M> PhaseCtx<M> {
         PhaseCtx {
             rank,
             outbox: Vec::new(),
-            msgs: 0,
-            msgs_solve: 0,
-            msgs_residual: 0,
-            bytes: 0,
-            flops: 0,
-            relaxations: 0,
-            active: false,
+            totals: PhaseTotals::default(),
         }
     }
 
@@ -56,10 +58,9 @@ impl<M> PhaseCtx<M> {
         Self::new(rank)
     }
 
-    /// Consumes the context, yielding the outbox and the message count
-    /// (alternate executors only track messages).
-    pub(crate) fn into_outbox_and_count(self) -> (Vec<(usize, Envelope<M>)>, u64) {
-        (self.outbox, self.msgs)
+    /// Consumes the context, yielding the outbox and the counters.
+    pub(crate) fn into_outbox_and_totals(self) -> (Vec<(usize, Envelope<M>)>, PhaseTotals) {
+        (self.outbox, self.totals)
     }
 
     /// Puts `payload` into `target`'s window. Visible to `target` at the
@@ -75,26 +76,27 @@ impl<M> PhaseCtx<M> {
                 payload,
             },
         ));
-        self.msgs += 1;
+        self.totals.msgs += 1;
         match class {
-            CommClass::Solve => self.msgs_solve += 1,
-            CommClass::Residual => self.msgs_residual += 1,
+            CommClass::Solve => self.totals.msgs_solve += 1,
+            CommClass::Residual => self.totals.msgs_residual += 1,
+            CommClass::Recovery => self.totals.msgs_recovery += 1,
         }
-        self.bytes += bytes;
+        self.totals.bytes += bytes;
     }
 
     /// Reports computational work for the γ term of the cost model.
     #[inline]
     pub fn add_flops(&mut self, flops: u64) {
-        self.flops += flops;
+        self.totals.flops += flops;
     }
 
     /// Reports that this rank relaxed `rows` of its equations this step
     /// (feeds the "relaxations" and "active processes" columns of Table 2).
     #[inline]
     pub fn record_relaxations(&mut self, rows: u64) {
-        self.relaxations += rows;
-        self.active = true;
+        self.totals.relaxations += rows;
+        self.totals.active = true;
     }
 }
 
@@ -126,52 +128,12 @@ pub enum ExecMode {
     Threaded(usize),
 }
 
-/// Fault injection: drop messages at the epoch boundary.
-///
-/// Real one-sided MPI guarantees delivery once the epoch closes; the
-/// solvers in this workspace *rely* on that (lost solve updates corrupt
-/// the receiver's maintained residual; lost explicit residual updates
-/// disable Distributed Southwell's deadlock avoidance). Chaos mode makes
-/// those failure modes observable and testable.
-#[derive(Debug, Clone, Copy)]
-pub struct ChaosConfig {
-    /// Probability that an eligible message is dropped, in `[0, 1]`.
-    pub drop_rate: f64,
-    /// Restrict dropping to one message class (`None` = any class).
-    pub drop_class: Option<CommClass>,
-    /// Seed of the deterministic drop sequence.
-    pub seed: u64,
-}
-
-impl ChaosConfig {
-    /// No faults.
-    pub fn none() -> Self {
-        ChaosConfig {
-            drop_rate: 0.0,
-            drop_class: None,
-            seed: 0,
-        }
-    }
-}
-
-/// A tiny deterministic PRNG (xorshift64*) so the substrate does not need
-/// a rand dependency for fault injection.
-#[derive(Debug, Clone)]
-struct XorShift(u64);
-
-impl XorShift {
-    fn new(seed: u64) -> Self {
-        XorShift(seed.wrapping_mul(0x9e3779b97f4a7c15) | 1)
-    }
-
-    fn next_f64(&mut self) -> f64 {
-        let mut x = self.0;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.0 = x;
-        (x.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64
-    }
+/// A put whose delivery was deferred by fault injection.
+struct DelayedPut<M> {
+    /// Global epoch index at whose close the put becomes visible.
+    due_epoch: u64,
+    target: usize,
+    env: Envelope<M>,
 }
 
 /// Runs a set of [`RankAlgorithm`] instances in lock-step parallel steps.
@@ -181,10 +143,12 @@ pub struct Executor<A: RankAlgorithm> {
     inboxes: Vec<Vec<Envelope<A::Msg>>>,
     model: CostModel,
     mode: ExecMode,
-    chaos: ChaosConfig,
-    chaos_rng: XorShift,
-    /// Messages dropped by fault injection over the run.
-    pub msgs_dropped: u64,
+    /// Fault decisions (drops / duplicates / delays / stalls).
+    injector: FaultInjector,
+    /// Puts in flight past their epoch (delay injection).
+    delayed: Vec<DelayedPut<A::Msg>>,
+    /// Global epoch (phase) counter, for delay due-dates.
+    epochs_executed: u64,
     /// Optional delivery log (see [`Executor::enable_trace`]).
     pub trace: Option<crate::trace::Trace>,
     steps_executed: usize,
@@ -199,28 +163,33 @@ impl<A: RankAlgorithm> Executor<A> {
     }
 
     /// As [`new`](Self::new), with fault injection at epoch boundaries.
+    ///
+    /// # Panics
+    /// If `chaos` fails [`ChaosConfig::validate`].
     pub fn with_chaos(ranks: Vec<A>, model: CostModel, mode: ExecMode, chaos: ChaosConfig) -> Self {
         assert!(!ranks.is_empty(), "need at least one rank");
-        assert!(
-            (0.0..=1.0).contains(&chaos.drop_rate),
-            "drop_rate must be a probability"
-        );
         if let ExecMode::Threaded(n) = mode {
             assert!(n > 0, "threaded mode needs at least one thread");
         }
         let n = ranks.len();
         Executor {
+            injector: FaultInjector::new(chaos, n),
             ranks,
             inboxes: (0..n).map(|_| Vec::new()).collect(),
             model,
             mode,
-            chaos_rng: XorShift::new(chaos.seed),
-            chaos,
-            msgs_dropped: 0,
+            delayed: Vec::new(),
+            epochs_executed: 0,
             trace: None,
             steps_executed: 0,
             stats: RunStats::new(n),
         }
+    }
+
+    /// Direct access to the fault injector, e.g. to force targeted
+    /// stragglers with [`FaultInjector::inject_stall`].
+    pub fn injector_mut(&mut self) -> &mut FaultInjector {
+        &mut self.injector
     }
 
     /// Starts logging every delivered message (up to `capacity` events)
@@ -247,6 +216,14 @@ impl<A: RankAlgorithm> Executor<A> {
     }
 
     /// Executes one parallel step (all phases); returns its stats.
+    ///
+    /// With fault injection active, the epoch close additionally: drops,
+    /// duplicates, or defers puts per [`FaultInjector::fate`]; surfaces
+    /// deferred puts whose delay expired; and skips the compute phases of
+    /// stalled ranks (their inboxes keep accumulating until they resume).
+    /// All of that happens in this serialized section, so the fault
+    /// pattern is identical under [`ExecMode::Sequential`] and
+    /// [`ExecMode::Threaded`].
     pub fn step(&mut self) -> StepStats {
         let nphases = self.ranks[0].phases();
         debug_assert!(
@@ -254,35 +231,71 @@ impl<A: RankAlgorithm> Executor<A> {
             "all ranks must agree on the phase count"
         );
         let mut step = StepStats::default();
+        // Stall decisions hold for every phase of this step.
+        let stalled = self.injector.step_stalls();
+        step.faults.stalled_ranks += stalled.iter().filter(|&&s| s).count() as u64;
+        // Covers configured faults and targeted `inject_stall` calls.
+        let faults_possible = self.injector.config().is_active() || stalled.contains(&true);
         for phase in 0..nphases {
-            let (outboxes, phase_stats) = self.run_phase(phase);
+            let (outboxes, phase_stats) = self.run_phase(phase, &stalled);
             // Epoch close: deliver puts. Outboxes are concatenated in origin
             // rank order, so delivery is deterministic regardless of mode.
-            for inbox in self.inboxes.iter_mut() {
-                inbox.clear();
+            // A stalled rank has not read its inbox, so it keeps
+            // accumulating until the rank next executes a phase.
+            for (inbox, &is_stalled) in self.inboxes.iter_mut().zip(&stalled) {
+                if !is_stalled {
+                    inbox.clear();
+                }
             }
             for (origin, outbox) in outboxes.into_iter().enumerate() {
                 self.stats.msgs_per_rank[origin] += outbox.len() as u64;
                 for (target, env) in outbox {
-                    if self.chaos.drop_rate > 0.0
-                        && self.chaos.drop_class.map_or(true, |c| c == env.class)
-                        && self.chaos_rng.next_f64() < self.chaos.drop_rate
-                    {
-                        self.msgs_dropped += 1;
+                    let fate = self.injector.fate(env.class);
+                    if fate.dropped {
+                        step.faults.dropped.add(env.class, 1);
                         continue;
                     }
-                    if let Some(trace) = &mut self.trace {
-                        trace.record(crate::trace::TraceEvent {
-                            step: self.steps_executed,
-                            phase,
-                            src: env.src,
-                            dst: target,
-                            class: env.class,
-                        });
+                    if fate.duplicated {
+                        step.faults.duplicated.add(env.class, 1);
+                        self.deliver(phase, target, env.clone());
                     }
-                    self.inboxes[target].push(env);
+                    if fate.delay > 0 {
+                        step.faults.delayed.add(env.class, 1);
+                        self.delayed.push(DelayedPut {
+                            due_epoch: self.epochs_executed + fate.delay as u64,
+                            target,
+                            env,
+                        });
+                    } else {
+                        self.deliver(phase, target, env);
+                    }
                 }
             }
+            // Surface deferred puts whose delay expired at this close, in
+            // the order they were deferred.
+            if !self.delayed.is_empty() {
+                let due_now = self.epochs_executed;
+                let mut i = 0;
+                while i < self.delayed.len() {
+                    if self.delayed[i].due_epoch <= due_now {
+                        let DelayedPut { target, env, .. } = self.delayed.remove(i);
+                        self.deliver(phase, target, env);
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            // Late arrivals and stall accumulation can interleave origins;
+            // restore the "ordered by origin rank" inbox contract. The sort
+            // is stable, so within one origin the delivery order (which
+            // delays may have scrambled — that is the injected fault)
+            // is preserved.
+            if faults_possible {
+                for inbox in self.inboxes.iter_mut() {
+                    inbox.sort_by_key(|env| env.src);
+                }
+            }
+            self.epochs_executed += 1;
             // Time: the slowest rank gates the computation; message and
             // byte volume are charged at the per-rank average (congestion /
             // epoch-overhead model — see `CostModel`).
@@ -290,9 +303,9 @@ impl<A: RankAlgorithm> Executor<A> {
             let mut total_msgs = 0u64;
             let mut total_bytes = 0u64;
             for ps in &phase_stats {
-                max_flops = max_flops.max(ps.2);
-                total_msgs += ps.0;
-                total_bytes += ps.1;
+                max_flops = max_flops.max(ps.flops);
+                total_msgs += ps.msgs;
+                total_bytes += ps.bytes;
             }
             let p = self.ranks.len() as f64;
             step.time += self.model.sync
@@ -300,13 +313,14 @@ impl<A: RankAlgorithm> Executor<A> {
                 + self.model.alpha * total_msgs as f64 / p
                 + self.model.beta * total_bytes as f64 / p;
             for ps in &phase_stats {
-                step.msgs += ps.0;
-                step.bytes += ps.1;
-                step.flops += ps.2;
-                step.msgs_solve += ps.3;
-                step.msgs_residual += ps.4;
-                step.relaxations += ps.5;
-                step.active_ranks += u64::from(ps.6);
+                step.msgs += ps.msgs;
+                step.bytes += ps.bytes;
+                step.flops += ps.flops;
+                step.msgs_solve += ps.msgs_solve;
+                step.msgs_residual += ps.msgs_residual;
+                step.msgs_recovery += ps.msgs_recovery;
+                step.relaxations += ps.relaxations;
+                step.active_ranks += u64::from(ps.active);
             }
         }
         self.stats.steps.push(step);
@@ -314,49 +328,53 @@ impl<A: RankAlgorithm> Executor<A> {
         step
     }
 
-    /// Runs `phase` on every rank; returns outboxes and per-rank
-    /// `(msgs, bytes, flops, solve, residual, relaxations, active)`.
+    /// Delivers one envelope to `target` (trace + inbox push).
+    fn deliver(&mut self, phase: usize, target: usize, env: Envelope<A::Msg>) {
+        if let Some(trace) = &mut self.trace {
+            trace.record(crate::trace::TraceEvent {
+                step: self.steps_executed,
+                phase,
+                src: env.src,
+                dst: target,
+                class: env.class,
+            });
+        }
+        self.inboxes[target].push(env);
+    }
+
+    /// Runs `phase` on every non-stalled rank; returns outboxes and
+    /// per-rank counters. Stalled ranks contribute an empty outbox and
+    /// zero counters (they perform no work at all this phase).
     #[allow(clippy::type_complexity)]
     fn run_phase(
         &mut self,
         phase: usize,
-    ) -> (
-        Vec<Vec<(usize, Envelope<A::Msg>)>>,
-        Vec<(u64, u64, u64, u64, u64, u64, bool)>,
-    ) {
+        stalled: &[bool],
+    ) -> (Vec<Vec<(usize, Envelope<A::Msg>)>>, Vec<PhaseTotals>) {
         let n = self.ranks.len();
-        let run_one = |rank_id: usize, rank: &mut A, inbox: &[Envelope<A::Msg>]| {
-            let mut ctx = PhaseCtx::new(rank_id);
-            rank.phase(phase, inbox, &mut ctx);
-            let stats = (
-                ctx.msgs,
-                ctx.bytes,
-                ctx.flops,
-                ctx.msgs_solve,
-                ctx.msgs_residual,
-                ctx.relaxations,
-                ctx.active,
-            );
-            (ctx.outbox, stats)
-        };
 
         match self.mode {
             ExecMode::Sequential => {
                 let mut outboxes = Vec::with_capacity(n);
                 let mut stats = Vec::with_capacity(n);
                 for (i, (rank, inbox)) in self.ranks.iter_mut().zip(&self.inboxes).enumerate() {
-                    let (o, s) = run_one(i, rank, inbox);
-                    outboxes.push(o);
-                    stats.push(s);
+                    if stalled[i] {
+                        outboxes.push(Vec::new());
+                        stats.push(PhaseTotals::default());
+                        continue;
+                    }
+                    let mut ctx = PhaseCtx::new(i);
+                    rank.phase(phase, inbox, &mut ctx);
+                    outboxes.push(ctx.outbox);
+                    stats.push(ctx.totals);
                 }
                 (outboxes, stats)
             }
             ExecMode::Threaded(nthreads) => {
                 let nthreads = nthreads.min(n);
                 let chunk = n.div_ceil(nthreads);
-                let mut results: Vec<
-                    Option<(Vec<(usize, Envelope<A::Msg>)>, (u64, u64, u64, u64, u64, u64, bool))>,
-                > = (0..n).map(|_| None).collect();
+                let mut results: Vec<Option<(Vec<(usize, Envelope<A::Msg>)>, PhaseTotals)>> =
+                    (0..n).map(|_| None).collect();
                 let ranks = &mut self.ranks;
                 let inboxes = &self.inboxes;
                 crossbeam::thread::scope(|scope| {
@@ -376,20 +394,13 @@ impl<A: RankAlgorithm> Executor<A> {
                         base += rc.len();
                         scope.spawn(move |_| {
                             for (k, (rank, inbox)) in rc.iter_mut().zip(ic).enumerate() {
+                                if stalled[start + k] {
+                                    out[k] = Some((Vec::new(), PhaseTotals::default()));
+                                    continue;
+                                }
                                 let mut ctx = PhaseCtx::new(start + k);
                                 rank.phase(phase, inbox, &mut ctx);
-                                out[k] = Some((
-                                    ctx.outbox,
-                                    (
-                                        ctx.msgs,
-                                        ctx.bytes,
-                                        ctx.flops,
-                                        ctx.msgs_solve,
-                                        ctx.msgs_residual,
-                                        ctx.relaxations,
-                                        ctx.active,
-                                    ),
-                                ));
+                                out[k] = Some((ctx.outbox, ctx.totals));
                             }
                         });
                     }
@@ -604,5 +615,136 @@ mod tests {
             ex.step();
             assert_eq!(ex.ranks()[0].seen, (1..9).collect::<Vec<_>>());
         }
+    }
+
+    #[test]
+    fn drops_counted_per_class_in_stats() {
+        let chaos = ChaosConfig {
+            drop_rate: 1.0,
+            seed: 3,
+            ..ChaosConfig::none()
+        };
+        let mut ex =
+            Executor::with_chaos(ring(3), CostModel::default(), ExecMode::Sequential, chaos);
+        ex.step();
+        ex.step();
+        // Everything dropped: nothing ever arrives.
+        assert!(ex.ranks()[1].received_this_phase.is_empty());
+        assert_eq!(ex.stats.total_msgs_dropped(), 6);
+        assert_eq!(ex.stats.total_faults().dropped.of(CommClass::Solve), 6);
+        // Send-side accounting is unaffected by delivery faults.
+        assert_eq!(ex.stats.total_msgs(), 6);
+        assert_eq!(ex.stats.msgs_per_rank, vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn duplicates_are_delivered_twice() {
+        let chaos = ChaosConfig {
+            duplicate_rate: 1.0,
+            seed: 3,
+            ..ChaosConfig::none()
+        };
+        let mut ex =
+            Executor::with_chaos(ring(3), CostModel::default(), ExecMode::Sequential, chaos);
+        ex.step();
+        ex.step();
+        // Rank 1 sees its left neighbor's step-1 value twice.
+        assert_eq!(ex.ranks()[1].received_this_phase, vec![1, 1]);
+        assert_eq!(ex.stats.total_faults().duplicated.total(), 6);
+    }
+
+    #[test]
+    fn delays_defer_delivery_by_configured_epochs() {
+        let chaos = ChaosConfig {
+            delay_rate: 1.0,
+            max_delay_epochs: 1,
+            seed: 3,
+            ..ChaosConfig::none()
+        };
+        let mut ex =
+            Executor::with_chaos(ring(3), CostModel::default(), ExecMode::Sequential, chaos);
+        ex.step();
+        ex.step();
+        // One-epoch delay: the step-1 put (normally visible in step 2) is
+        // still in flight during step 2...
+        assert!(ex.ranks()[1].received_this_phase.is_empty());
+        ex.step();
+        // ...and lands for step 3.
+        assert_eq!(ex.ranks()[1].received_this_phase, vec![1]);
+        assert_eq!(ex.stats.total_faults().delayed.total(), 9);
+    }
+
+    #[test]
+    fn stalled_rank_skips_compute_and_keeps_inbox() {
+        let mut ex = Executor::new(ring(3), CostModel::default(), ExecMode::Sequential);
+        ex.injector_mut().inject_stall(1, 2);
+        let s1 = ex.step();
+        assert_eq!(s1.faults.stalled_ranks, 1);
+        assert_eq!(s1.relaxations, 2, "stalled rank does no work");
+        assert_eq!(s1.active_ranks, 2);
+        let s2 = ex.step();
+        assert_eq!(s2.faults.stalled_ranks, 1);
+        let s3 = ex.step();
+        assert_eq!(s3.faults.stalled_ranks, 0);
+        // While stalled, rank 1's inbox accumulated rank 0's puts from both
+        // steps (values 1, then 1+3 after rank 0 absorbed rank 2's put);
+        // nothing was lost, only late.
+        assert_eq!(ex.ranks()[1].received_this_phase, vec![1, 4]);
+        assert_eq!(ex.ranks()[1].value, 2 + 1 + 4);
+    }
+
+    #[test]
+    fn full_chaos_identical_sequential_vs_threaded() {
+        let chaos = ChaosConfig {
+            drop_rate: 0.15,
+            duplicate_rate: 0.15,
+            delay_rate: 0.2,
+            max_delay_epochs: 2,
+            stall_rate: 0.1,
+            stall_steps: 2,
+            seed: 1234,
+            ..ChaosConfig::none()
+        };
+        let mut a =
+            Executor::with_chaos(ring(7), CostModel::default(), ExecMode::Sequential, chaos);
+        let mut b =
+            Executor::with_chaos(ring(7), CostModel::default(), ExecMode::Threaded(3), chaos);
+        for _ in 0..12 {
+            let sa = a.step();
+            let sb = b.step();
+            assert_eq!(sa, sb, "per-step stats must match bit-for-bit");
+        }
+        let va: Vec<u64> = a.ranks().iter().map(|r| r.value).collect();
+        let vb: Vec<u64> = b.ranks().iter().map(|r| r.value).collect();
+        assert_eq!(va, vb);
+        assert_eq!(a.stats.msgs_per_rank, b.stats.msgs_per_rank);
+        let fa = a.stats.total_faults();
+        assert!(
+            fa.dropped.total() > 0,
+            "chaos should have dropped something"
+        );
+        assert!(fa.duplicated.total() > 0);
+        assert!(fa.delayed.total() > 0);
+        assert!(fa.stalled_ranks > 0);
+    }
+
+    #[test]
+    fn zero_rate_chaos_identical_to_no_chaos() {
+        let mut a = Executor::new(ring(5), CostModel::default(), ExecMode::Sequential);
+        let mut b = Executor::with_chaos(
+            ring(5),
+            CostModel::default(),
+            ExecMode::Sequential,
+            ChaosConfig {
+                seed: 99,
+                ..ChaosConfig::none()
+            },
+        );
+        for _ in 0..6 {
+            assert_eq!(a.step(), b.step());
+        }
+        let va: Vec<u64> = a.ranks().iter().map(|r| r.value).collect();
+        let vb: Vec<u64> = b.ranks().iter().map(|r| r.value).collect();
+        assert_eq!(va, vb);
     }
 }

@@ -1,0 +1,383 @@
+//! Deterministic fault injection for the RMA substrate.
+//!
+//! Real one-sided MPI guarantees that a put is visible once the epoch
+//! closes; every solver in this workspace *relies* on that (lost solve
+//! updates corrupt the receiver's maintained residual, lost explicit
+//! residual updates disable Distributed Southwell's deadlock avoidance).
+//! Chaos mode makes those failure modes observable and testable by
+//! perturbing delivery at the epoch boundary:
+//!
+//! * **drops** — the put never lands;
+//! * **duplicates** — the put lands twice (models a retried RMA op whose
+//!   first attempt actually succeeded);
+//! * **delays** — the put lands `k ≥ 1` epochs late, reordered behind
+//!   younger traffic from the same origin;
+//! * **stalls** — a rank skips its compute phases for `k` consecutive
+//!   parallel steps (an OS-jitter / straggler model). Its inbox keeps
+//!   accumulating while it is stalled, so nothing is lost — only late.
+//!
+//! All decisions are drawn from seeded generators owned by the executor
+//! and consulted only in the serialized epoch-close section, so a given
+//! `ChaosConfig` produces the *same* fault pattern under
+//! `ExecMode::Sequential` and `ExecMode::Threaded(_)`.
+//!
+//! Message-fate draws and stall draws come from two independent streams:
+//! changing the message volume (e.g. by switching solvers) does not change
+//! which ranks stall, and vice versa.
+
+use crate::stats::CommClass;
+
+/// Fault-injection configuration. All probabilities are per-message (or
+/// per-rank-step for stalls) and independent.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosConfig {
+    /// Probability that an eligible message is dropped, in `[0, 1]`.
+    pub drop_rate: f64,
+    /// Restrict dropping to one message class (`None` = any class).
+    pub drop_class: Option<CommClass>,
+    /// Probability that a delivered message lands twice, in `[0, 1]`.
+    pub duplicate_rate: f64,
+    /// Probability that a delivered message is deferred, in `[0, 1]`.
+    pub delay_rate: f64,
+    /// Maximum deferral in epochs; each delayed message draws uniformly
+    /// from `1..=max_delay_epochs`. Must be ≥ 1 when `delay_rate > 0`.
+    pub max_delay_epochs: usize,
+    /// Per-rank, per-parallel-step probability that an idle rank begins a
+    /// stall, in `[0, 1]`.
+    pub stall_rate: f64,
+    /// Length of each stall in parallel steps. Must be ≥ 1 when
+    /// `stall_rate > 0`.
+    pub stall_steps: usize,
+    /// Seed of the deterministic fault pattern.
+    pub seed: u64,
+}
+
+impl ChaosConfig {
+    /// No faults.
+    pub fn none() -> Self {
+        ChaosConfig {
+            drop_rate: 0.0,
+            drop_class: None,
+            duplicate_rate: 0.0,
+            delay_rate: 0.0,
+            max_delay_epochs: 1,
+            stall_rate: 0.0,
+            stall_steps: 1,
+            seed: 0,
+        }
+    }
+
+    /// Any message-level fault configured (drop / duplicate / delay)?
+    pub fn message_faults_active(&self) -> bool {
+        self.drop_rate > 0.0 || self.duplicate_rate > 0.0 || self.delay_rate > 0.0
+    }
+
+    /// Any stall fault configured?
+    pub fn stalls_active(&self) -> bool {
+        self.stall_rate > 0.0
+    }
+
+    /// Any fault configured at all?
+    pub fn is_active(&self) -> bool {
+        self.message_faults_active() || self.stalls_active()
+    }
+
+    /// Checks ranges; returns a human-readable error for bad configs.
+    pub fn validate(&self) -> Result<(), String> {
+        let prob = |name: &str, v: f64| {
+            if (0.0..=1.0).contains(&v) {
+                Ok(())
+            } else {
+                Err(format!("{name} must be a probability in [0, 1], got {v}"))
+            }
+        };
+        prob("drop_rate", self.drop_rate)?;
+        prob("duplicate_rate", self.duplicate_rate)?;
+        prob("delay_rate", self.delay_rate)?;
+        prob("stall_rate", self.stall_rate)?;
+        if self.delay_rate > 0.0 && self.max_delay_epochs == 0 {
+            return Err("delay_rate > 0 requires max_delay_epochs >= 1".into());
+        }
+        if self.stall_rate > 0.0 && self.stall_steps == 0 {
+            return Err("stall_rate > 0 requires stall_steps >= 1".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// A tiny deterministic PRNG (xorshift64*) so the substrate does not need
+/// a rand dependency for fault injection.
+#[derive(Debug, Clone)]
+pub(crate) struct XorShift(u64);
+
+impl XorShift {
+    pub(crate) fn new(seed: u64) -> Self {
+        XorShift(seed.wrapping_mul(0x9e3779b97f4a7c15) | 1)
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    pub(crate) fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform draw from `1..=max`.
+    pub(crate) fn next_in_1_to(&mut self, max: usize) -> usize {
+        1 + (self.next_u64() % max as u64) as usize
+    }
+}
+
+/// The decided fate of one about-to-be-delivered message.
+///
+/// Drops win over everything. A surviving message may be both delayed and
+/// duplicated: the duplicate lands *now* while the original lands late,
+/// which models a retransmission racing a slow original — the sharpest
+/// combination of reordering and duplication a receiver can face.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fate {
+    /// The message is discarded (no delivery at all, no duplicate).
+    pub dropped: bool,
+    /// An extra copy is delivered at the current epoch close.
+    pub duplicated: bool,
+    /// Epochs the original delivery is deferred by (0 = on time).
+    pub delay: usize,
+}
+
+impl Fate {
+    /// Normal, exactly-once, on-time delivery.
+    pub const DELIVER: Fate = Fate {
+        dropped: false,
+        duplicated: false,
+        delay: 0,
+    };
+}
+
+/// Draws fault decisions for an executor. Construct once per run; consult
+/// only from the serialized epoch-close section (the injector is
+/// deliberately not `Sync` — sharing it across rank threads would make the
+/// fault pattern schedule-dependent).
+#[derive(Debug)]
+pub struct FaultInjector {
+    cfg: ChaosConfig,
+    /// Stream for per-message fate draws.
+    msg_rng: XorShift,
+    /// Independent stream for per-rank stall draws.
+    stall_rng: XorShift,
+    /// Remaining stall steps per rank (0 = running).
+    stall_left: Vec<usize>,
+}
+
+impl FaultInjector {
+    /// Creates an injector for `nranks` ranks.
+    ///
+    /// # Panics
+    /// If `cfg` fails [`ChaosConfig::validate`].
+    pub fn new(cfg: ChaosConfig, nranks: usize) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid ChaosConfig: {e}");
+        }
+        FaultInjector {
+            cfg,
+            msg_rng: XorShift::new(cfg.seed),
+            // Decorrelate the two streams with a fixed offset on the seed.
+            stall_rng: XorShift::new(cfg.seed ^ 0xD5A6_1F2C_93B4_7E81),
+            stall_left: vec![0; nranks],
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ChaosConfig {
+        &self.cfg
+    }
+
+    /// Decides the fate of one message of class `class`.
+    ///
+    /// A fault type whose rate is zero consumes no randomness, so enabling
+    /// one fault never perturbs the pattern of another, and a fully zero
+    /// config is bit-identical to no injector at all.
+    pub fn fate(&mut self, class: CommClass) -> Fate {
+        let mut fate = Fate::DELIVER;
+        if self.cfg.drop_rate > 0.0
+            && self.cfg.drop_class.is_none_or(|c| c == class)
+            && self.msg_rng.next_f64() < self.cfg.drop_rate
+        {
+            fate.dropped = true;
+            return fate;
+        }
+        if self.cfg.duplicate_rate > 0.0 && self.msg_rng.next_f64() < self.cfg.duplicate_rate {
+            fate.duplicated = true;
+        }
+        if self.cfg.delay_rate > 0.0 && self.msg_rng.next_f64() < self.cfg.delay_rate {
+            fate.delay = self.msg_rng.next_in_1_to(self.cfg.max_delay_epochs);
+        }
+        fate
+    }
+
+    /// Advances the stall state by one parallel step and returns, per rank,
+    /// whether that rank is stalled for the *whole* upcoming step. Draws
+    /// happen in rank order from the stall stream only.
+    pub fn step_stalls(&mut self) -> Vec<bool> {
+        let n = self.stall_left.len();
+        let mut stalled = vec![false; n];
+        for (r, flag) in stalled.iter_mut().enumerate() {
+            if self.stall_left[r] > 0 {
+                self.stall_left[r] -= 1;
+                *flag = true;
+            } else if self.cfg.stall_rate > 0.0 && self.stall_rng.next_f64() < self.cfg.stall_rate {
+                // stall_steps >= 1 (validated); this step plus k-1 more.
+                self.stall_left[r] = self.cfg.stall_steps - 1;
+                *flag = true;
+            }
+        }
+        stalled
+    }
+
+    /// Forces rank `r` to stall for the next `steps` parallel steps
+    /// (counting from the next `step_stalls` call). Lets tests and
+    /// experiments inject targeted stragglers on top of the random model.
+    pub fn inject_stall(&mut self, r: usize, steps: usize) {
+        self.stall_left[r] = self.stall_left[r].max(steps);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_config_draws_nothing_and_delivers() {
+        let mut inj = FaultInjector::new(ChaosConfig::none(), 4);
+        let before = format!("{:?}", inj.msg_rng);
+        for _ in 0..100 {
+            assert_eq!(inj.fate(CommClass::Solve), Fate::DELIVER);
+        }
+        assert_eq!(format!("{:?}", inj.msg_rng), before, "no RNG consumed");
+        assert_eq!(inj.step_stalls(), vec![false; 4]);
+    }
+
+    #[test]
+    fn fates_are_deterministic_per_seed() {
+        let cfg = ChaosConfig {
+            drop_rate: 0.2,
+            duplicate_rate: 0.2,
+            delay_rate: 0.2,
+            max_delay_epochs: 3,
+            stall_rate: 0.1,
+            stall_steps: 2,
+            seed: 42,
+            ..ChaosConfig::none()
+        };
+        let run = |cfg: ChaosConfig| {
+            let mut inj = FaultInjector::new(cfg, 8);
+            let fates: Vec<Fate> = (0..200).map(|_| inj.fate(CommClass::Solve)).collect();
+            let stalls: Vec<Vec<bool>> = (0..50).map(|_| inj.step_stalls()).collect();
+            (fates, stalls)
+        };
+        assert_eq!(run(cfg), run(cfg));
+        let mut other = cfg;
+        other.seed = 43;
+        assert_ne!(run(cfg).0, run(other).0);
+    }
+
+    #[test]
+    fn rates_roughly_respected() {
+        let cfg = ChaosConfig {
+            drop_rate: 0.3,
+            delay_rate: 0.5,
+            max_delay_epochs: 4,
+            seed: 7,
+            ..ChaosConfig::none()
+        };
+        let mut inj = FaultInjector::new(cfg, 1);
+        let fates: Vec<Fate> = (0..10_000).map(|_| inj.fate(CommClass::Residual)).collect();
+        let drops = fates.iter().filter(|f| f.dropped).count() as f64 / 10_000.0;
+        assert!((drops - 0.3).abs() < 0.03, "drop rate {drops}");
+        let delayed: Vec<usize> = fates
+            .iter()
+            .filter(|f| !f.dropped && f.delay > 0)
+            .map(|f| f.delay)
+            .collect();
+        assert!(delayed.iter().all(|&d| (1..=4).contains(&d)));
+        // Dropped messages never carry secondary faults.
+        assert!(fates
+            .iter()
+            .filter(|f| f.dropped)
+            .all(|f| !f.duplicated && f.delay == 0));
+    }
+
+    #[test]
+    fn drop_class_filter_respected() {
+        let cfg = ChaosConfig {
+            drop_rate: 1.0,
+            drop_class: Some(CommClass::Residual),
+            seed: 1,
+            ..ChaosConfig::none()
+        };
+        let mut inj = FaultInjector::new(cfg, 1);
+        assert!(!inj.fate(CommClass::Solve).dropped);
+        assert!(inj.fate(CommClass::Residual).dropped);
+        assert!(!inj.fate(CommClass::Recovery).dropped);
+    }
+
+    #[test]
+    fn stalls_last_configured_steps() {
+        let cfg = ChaosConfig {
+            stall_rate: 1.0,
+            stall_steps: 3,
+            seed: 5,
+            ..ChaosConfig::none()
+        };
+        let mut inj = FaultInjector::new(cfg, 2);
+        // With rate 1.0 every rank stalls immediately and, because re-draws
+        // happen as soon as the stall expires, stays stalled forever.
+        for _ in 0..5 {
+            assert_eq!(inj.step_stalls(), vec![true, true]);
+        }
+    }
+
+    #[test]
+    fn injected_stall_expires() {
+        let mut inj = FaultInjector::new(ChaosConfig::none(), 3);
+        inj.inject_stall(1, 2);
+        assert_eq!(inj.step_stalls(), vec![false, true, false]);
+        assert_eq!(inj.step_stalls(), vec![false, true, false]);
+        assert_eq!(inj.step_stalls(), vec![false, false, false]);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(ChaosConfig {
+            drop_rate: 1.5,
+            ..ChaosConfig::none()
+        }
+        .validate()
+        .is_err());
+        assert!(ChaosConfig {
+            delay_rate: 0.1,
+            max_delay_epochs: 0,
+            ..ChaosConfig::none()
+        }
+        .validate()
+        .is_err());
+        assert!(ChaosConfig {
+            stall_rate: 0.1,
+            stall_steps: 0,
+            ..ChaosConfig::none()
+        }
+        .validate()
+        .is_err());
+    }
+}

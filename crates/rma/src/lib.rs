@@ -31,10 +31,12 @@
 
 pub mod async_exec;
 pub mod executor;
+pub mod fault;
 pub mod stats;
 pub mod trace;
 
 pub use async_exec::{AsyncExecutor, AsyncOptions};
-pub use executor::{ChaosConfig, Envelope, ExecMode, Executor, PhaseCtx, RankAlgorithm};
-pub use stats::{CommClass, CostModel, RunStats, StepStats};
+pub use executor::{Envelope, ExecMode, Executor, PhaseCtx, RankAlgorithm};
+pub use fault::{ChaosConfig, Fate, FaultInjector};
+pub use stats::{ClassCounts, CommClass, CostModel, FaultStats, RunStats, StepStats};
 pub use trace::{Trace, TraceEvent};

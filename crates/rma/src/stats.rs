@@ -1,6 +1,7 @@
 //! Communication statistics and the modelled time.
 
-/// Classification of a message, mirroring Table 3 of the paper.
+/// Classification of a message, mirroring Table 3 of the paper (plus the
+/// recovery class this reproduction adds for its self-healing protocol).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CommClass {
     /// Updates sent to neighbors after a local subdomain solve
@@ -10,6 +11,94 @@ pub enum CommClass {
     /// Parallel Southwell sends whenever its residual changed, and the
     /// deadlock-avoidance messages of Distributed Southwell.
     Residual,
+    /// Self-healing traffic that the paper's protocol does not have:
+    /// periodic invariant-audit / ghost-resync epochs and the freeze
+    /// watchdog's forced residual rebroadcasts. Counted separately so the
+    /// resilience overhead is measurable against the paper's metrics.
+    Recovery,
+}
+
+impl CommClass {
+    /// All classes, in display order.
+    pub const ALL: [CommClass; 3] = [CommClass::Solve, CommClass::Residual, CommClass::Recovery];
+}
+
+/// Message counts split by [`CommClass`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassCounts {
+    /// [`CommClass::Solve`] messages.
+    pub solve: u64,
+    /// [`CommClass::Residual`] messages.
+    pub residual: u64,
+    /// [`CommClass::Recovery`] messages.
+    pub recovery: u64,
+}
+
+impl ClassCounts {
+    /// Adds `n` to the counter of `class`.
+    #[inline]
+    pub fn add(&mut self, class: CommClass, n: u64) {
+        match class {
+            CommClass::Solve => self.solve += n,
+            CommClass::Residual => self.residual += n,
+            CommClass::Recovery => self.recovery += n,
+        }
+    }
+
+    /// The counter of `class`.
+    #[inline]
+    pub fn of(&self, class: CommClass) -> u64 {
+        match class {
+            CommClass::Solve => self.solve,
+            CommClass::Residual => self.residual,
+            CommClass::Recovery => self.recovery,
+        }
+    }
+
+    /// Sum over all classes.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.solve + self.residual + self.recovery
+    }
+
+    /// Element-wise accumulation.
+    #[inline]
+    pub fn accumulate(&mut self, other: &ClassCounts) {
+        self.solve += other.solve;
+        self.residual += other.residual;
+        self.recovery += other.recovery;
+    }
+}
+
+/// Fault-injection outcomes of one parallel step (or one run), split by
+/// message class so chaos experiments can report which protocol traffic
+/// was hit (see `ChaosConfig` in [`crate::fault`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Messages dropped at the epoch boundary.
+    pub dropped: ClassCounts,
+    /// Messages delivered twice (the extra copy, not the original).
+    pub duplicated: ClassCounts,
+    /// Messages whose delivery was deferred by one or more epochs.
+    pub delayed: ClassCounts,
+    /// Rank-steps lost to injected stalls (a rank stalled for one whole
+    /// parallel step counts once).
+    pub stalled_ranks: u64,
+}
+
+impl FaultStats {
+    /// Element-wise accumulation.
+    pub fn accumulate(&mut self, other: &FaultStats) {
+        self.dropped.accumulate(&other.dropped);
+        self.duplicated.accumulate(&other.duplicated);
+        self.delayed.accumulate(&other.delayed);
+        self.stalled_ranks += other.stalled_ranks;
+    }
+
+    /// Total faulted messages (drops + duplicates + delays).
+    pub fn total_msgs_faulted(&self) -> u64 {
+        self.dropped.total() + self.duplicated.total() + self.delayed.total()
+    }
 }
 
 /// α–β–γ communication/computation cost model.
@@ -61,6 +150,8 @@ pub struct StepStats {
     pub msgs_solve: u64,
     /// ... of class [`CommClass::Residual`].
     pub msgs_residual: u64,
+    /// ... of class [`CommClass::Recovery`].
+    pub msgs_recovery: u64,
     /// Payload bytes sent by all ranks.
     pub bytes: u64,
     /// Flops reported by all ranks.
@@ -71,6 +162,8 @@ pub struct StepStats {
     pub relaxations: u64,
     /// Modelled wall-clock seconds of the step.
     pub time: f64,
+    /// Fault-injection outcomes of this step (all zero without chaos).
+    pub faults: FaultStats,
 }
 
 /// Accumulated statistics for a run.
@@ -111,6 +204,25 @@ impl RunStats {
         self.steps.iter().map(|s| s.msgs_residual).sum()
     }
 
+    /// Total recovery-class messages (audit / resync / watchdog traffic).
+    pub fn total_msgs_recovery(&self) -> u64 {
+        self.steps.iter().map(|s| s.msgs_recovery).sum()
+    }
+
+    /// Fault-injection outcomes accumulated over the whole run.
+    pub fn total_faults(&self) -> FaultStats {
+        let mut total = FaultStats::default();
+        for s in &self.steps {
+            total.accumulate(&s.faults);
+        }
+        total
+    }
+
+    /// Total messages dropped by fault injection over the run.
+    pub fn total_msgs_dropped(&self) -> u64 {
+        self.steps.iter().map(|s| s.faults.dropped.total()).sum()
+    }
+
     /// The paper's "communication cost": total messages / number of ranks.
     pub fn comm_cost(&self) -> f64 {
         self.total_msgs() as f64 / self.msgs_per_rank.len() as f64
@@ -124,6 +236,11 @@ impl RunStats {
     /// Residual-class communication cost (Table 3, "Res comm").
     pub fn comm_cost_residual(&self) -> f64 {
         self.total_msgs_residual() as f64 / self.msgs_per_rank.len() as f64
+    }
+
+    /// Recovery-class communication cost (overhead of self-healing).
+    pub fn comm_cost_recovery(&self) -> f64 {
+        self.total_msgs_recovery() as f64 / self.msgs_per_rank.len() as f64
     }
 
     /// Total modelled time.
@@ -167,16 +284,36 @@ mod tests {
             active_ranks: 2,
             relaxations: 20,
             time: 0.5,
+            ..StepStats::default()
         });
         rs.steps.push(StepStats {
             msgs: 4,
             msgs_solve: 2,
             msgs_residual: 2,
+            msgs_recovery: 1,
             bytes: 40,
             flops: 10,
             active_ranks: 4,
             relaxations: 40,
             time: 0.25,
+            faults: FaultStats {
+                dropped: ClassCounts {
+                    solve: 2,
+                    residual: 1,
+                    recovery: 0,
+                },
+                duplicated: ClassCounts {
+                    solve: 1,
+                    residual: 0,
+                    recovery: 0,
+                },
+                delayed: ClassCounts {
+                    solve: 0,
+                    residual: 0,
+                    recovery: 3,
+                },
+                stalled_ranks: 2,
+            },
         });
         assert_eq!(rs.nsteps(), 2);
         assert_eq!(rs.total_msgs(), 12);
@@ -188,6 +325,15 @@ mod tests {
         assert!((rs.total_time() - 0.75).abs() < 1e-15);
         assert_eq!(rs.total_relaxations(), 60);
         assert!((rs.mean_active_fraction() - 0.75).abs() < 1e-15);
+        assert_eq!(rs.total_msgs_recovery(), 1);
+        assert!((rs.comm_cost_recovery() - 0.25).abs() < 1e-15);
+        let faults = rs.total_faults();
+        assert_eq!(faults.dropped.total(), 3);
+        assert_eq!(faults.duplicated.of(CommClass::Solve), 1);
+        assert_eq!(faults.delayed.of(CommClass::Recovery), 3);
+        assert_eq!(faults.stalled_ranks, 2);
+        assert_eq!(faults.total_msgs_faulted(), 7);
+        assert_eq!(rs.total_msgs_dropped(), 3);
     }
 
     #[test]

@@ -45,7 +45,9 @@ impl CsrMatrix {
         }
         for i in 0..nrows {
             if row_ptr[i] > row_ptr[i + 1] {
-                return Err(SparseError::Shape(format!("row_ptr not monotone at row {i}")));
+                return Err(SparseError::Shape(format!(
+                    "row_ptr not monotone at row {i}"
+                )));
             }
             let row = &col_idx[row_ptr[i]..row_ptr[i + 1]];
             for w in row.windows(2) {
@@ -168,12 +170,12 @@ impl CsrMatrix {
     pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.ncols, "spmv: x length mismatch");
         assert_eq!(y.len(), self.nrows, "spmv: y length mismatch");
-        for i in 0..self.nrows {
+        for (i, yi) in y.iter_mut().enumerate() {
             let mut acc = 0.0;
             for k in self.row_ptr[i]..self.row_ptr[i + 1] {
                 acc += self.values[k] * x[self.col_idx[k]];
             }
-            y[i] = acc;
+            *yi = acc;
         }
     }
 
@@ -369,8 +371,7 @@ impl CooBuilder {
     /// Builds the CSR matrix, sorting entries and summing duplicates.
     /// Entries that sum to exactly zero are kept (pattern-preserving).
     pub fn build(mut self) -> Result<CsrMatrix> {
-        self.entries
-            .sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        self.entries.sort_unstable_by_key(|e| (e.0, e.1));
         let mut row_ptr = vec![0usize; self.nrows + 1];
         let mut col_idx: Vec<usize> = Vec::with_capacity(self.entries.len());
         let mut values: Vec<f64> = Vec::with_capacity(self.entries.len());

@@ -71,9 +71,9 @@ impl DenseMatrix {
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.ncols);
         let mut y = vec![0.0; self.nrows];
-        for i in 0..self.nrows {
+        for (i, yi) in y.iter_mut().enumerate() {
             let row = &self.data[i * self.ncols..(i + 1) * self.ncols];
-            y[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+            *yi = row.iter().zip(x).map(|(a, b)| a * b).sum();
         }
         y
     }
@@ -144,16 +144,16 @@ impl Cholesky {
         // Forward: L y = b.
         for i in 0..n {
             let mut s = b[i];
-            for k in 0..i {
-                s -= self.l[i * n + k] * b[k];
+            for (k, bk) in b.iter().enumerate().take(i) {
+                s -= self.l[i * n + k] * bk;
             }
             b[i] = s / self.l[i * n + i];
         }
         // Backward: Lᵀ x = y.
         for i in (0..n).rev() {
             let mut s = b[i];
-            for k in (i + 1)..n {
-                s -= self.l[k * n + i] * b[k];
+            for (k, bk) in b.iter().enumerate().take(n).skip(i + 1) {
+                s -= self.l[k * n + i] * bk;
             }
             b[i] = s / self.l[i * n + i];
         }
@@ -173,12 +173,8 @@ mod tests {
     use crate::CooBuilder;
 
     fn spd3() -> DenseMatrix {
-        DenseMatrix::from_row_major(
-            3,
-            3,
-            vec![4.0, -1.0, 0.0, -1.0, 4.0, -1.0, 0.0, -1.0, 4.0],
-        )
-        .unwrap()
+        DenseMatrix::from_row_major(3, 3, vec![4.0, -1.0, 0.0, -1.0, 4.0, -1.0, 0.0, -1.0, 4.0])
+            .unwrap()
     }
 
     #[test]

@@ -101,7 +101,11 @@ fn assemble_cliques(
         } else {
             1.0
         };
-        let c = if hot { opts.hot_coupling } else { opts.coupling };
+        let c = if hot {
+            opts.hot_coupling
+        } else {
+            opts.coupling
+        };
         let off = w * c;
         for (a, &ia) in clique.iter().enumerate() {
             b.push(ia, ia, w);
@@ -213,7 +217,7 @@ mod tests {
     fn clique2d_stencil_widths() {
         let a = clique_grid2d(4, 4, CliqueOptions::default());
         // Interior vertex touches 4 cells => 8 neighbors + itself.
-        let interior = 1 * 4 + 1;
+        let interior = 4 + 1;
         assert_eq!(a.row_cols(interior).len(), 9);
         // Corner vertex touches 1 cell => 3 neighbors + itself.
         assert_eq!(a.row_cols(0).len(), 4);
@@ -237,7 +241,7 @@ mod tests {
         assert!(a.is_symmetric(1e-12));
         assert!(Cholesky::factor_csr(&a).is_ok());
         // Center vertex of a 3^3 grid touches all 8 cells => full 27-point row.
-        let center = (1 * 3 + 1) * 3 + 1;
+        let center = (3 + 1) * 3 + 1;
         assert_eq!(a.row_cols(center).len(), 27);
     }
 
@@ -301,7 +305,9 @@ mod tests {
             let n = a.nrows();
             // Jacobi iteration: x <- x - r where r = Ax (b = 0); i.e.
             // e <- (I - A) e with unit diagonal.
-            let mut e: Vec<f64> = (0..n).map(|i| ((i * 2654435761) % 97) as f64 / 97.0 - 0.5).collect();
+            let mut e: Vec<f64> = (0..n)
+                .map(|i| ((i * 2654435761) % 97) as f64 / 97.0 - 0.5)
+                .collect();
             crate::vecops::normalize(&mut e);
             for _ in 0..200 {
                 let ae = a.mul_vec(&e);

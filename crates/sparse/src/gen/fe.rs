@@ -55,7 +55,12 @@ pub struct TriMesh {
 
 /// Builds the jittered, randomly-flipped triangulation.
 pub fn build_mesh(opts: FeMeshOptions) -> TriMesh {
-    let FeMeshOptions { nx, ny, jitter, seed } = opts;
+    let FeMeshOptions {
+        nx,
+        ny,
+        jitter,
+        seed,
+    } = opts;
     assert!(nx >= 2 && ny >= 2, "mesh needs at least 2x2 cells");
     assert!((0.0..0.45).contains(&jitter), "jitter must be in [0, 0.45)");
     let mut rng = StdRng::seed_from_u64(seed);
@@ -217,8 +222,8 @@ mod tests {
     fn element_stiffness_rows_sum_to_zero() {
         // Constants are in the kernel of the element stiffness matrix.
         let (k, _) = element_stiffness([(0.1, 0.2), (0.9, 0.3), (0.4, 0.8)]);
-        for i in 0..3 {
-            let s: f64 = k[i].iter().sum();
+        for row in &k {
+            let s: f64 = row.iter().sum();
             assert!(s.abs() < 1e-12);
         }
     }
@@ -227,11 +232,11 @@ mod tests {
     fn element_stiffness_is_symmetric_psd() {
         let (k, two_area) = element_stiffness([(0.0, 0.0), (1.0, 0.0), (0.3, 0.7)]);
         assert!(two_area > 0.0);
-        for i in 0..3 {
-            for j in 0..3 {
-                assert!((k[i][j] - k[j][i]).abs() < 1e-14);
+        for (i, row) in k.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                assert!((v - k[j][i]).abs() < 1e-14);
             }
-            assert!(k[i][i] >= 0.0);
+            assert!(row[i] >= 0.0);
         }
     }
 

@@ -91,7 +91,7 @@ mod tests {
         let a = grid3d_poisson(3, 3, 3);
         assert_eq!(a.nrows(), 27);
         // Center point has 7 nonzeros.
-        let center = (1 * 3 + 1) * 3 + 1;
+        let center = (3 + 1) * 3 + 1;
         assert_eq!(a.row_cols(center).len(), 7);
         assert_eq!(a.get(center, center), 6.0);
         assert!(a.is_symmetric(0.0));

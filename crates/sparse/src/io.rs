@@ -30,12 +30,17 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<CsrMatrix> {
         .next()
         .ok_or_else(|| SparseError::Parse("empty file".into()))?
         .map_err(SparseError::from)?;
-    let h: Vec<String> = header.split_whitespace().map(|s| s.to_lowercase()).collect();
+    let h: Vec<String> = header
+        .split_whitespace()
+        .map(|s| s.to_lowercase())
+        .collect();
     if h.len() < 5 || h[0] != "%%matrixmarket" || h[1] != "matrix" {
         return Err(SparseError::Parse(format!("bad header: {header}")));
     }
     if h[2] != "coordinate" {
-        return Err(SparseError::Parse("only coordinate format supported".into()));
+        return Err(SparseError::Parse(
+            "only coordinate format supported".into(),
+        ));
     }
     let field = match h[3].as_str() {
         "real" => Field::Real,
@@ -46,9 +51,7 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<CsrMatrix> {
     let symmetry = match h[4].as_str() {
         "general" => Symmetry::General,
         "symmetric" => Symmetry::Symmetric,
-        other => {
-            return Err(SparseError::Parse(format!("unsupported symmetry: {other}")))
-        }
+        other => return Err(SparseError::Parse(format!("unsupported symmetry: {other}"))),
     };
 
     // Skip comments, read the size line.
@@ -65,7 +68,10 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<CsrMatrix> {
     };
     let dims: Vec<usize> = size_line
         .split_whitespace()
-        .map(|t| t.parse::<usize>().map_err(|e| SparseError::Parse(e.to_string())))
+        .map(|t| {
+            t.parse::<usize>()
+                .map_err(|e| SparseError::Parse(e.to_string()))
+        })
         .collect::<Result<_>>()?;
     if dims.len() != 3 {
         return Err(SparseError::Parse(format!("bad size line: {size_line}")));
@@ -75,7 +81,11 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<CsrMatrix> {
     let mut builder = CooBuilder::with_capacity(
         nrows,
         ncols,
-        if symmetry == Symmetry::Symmetric { 2 * nnz } else { nnz },
+        if symmetry == Symmetry::Symmetric {
+            2 * nnz
+        } else {
+            nnz
+        },
     );
     let mut seen = 0usize;
     for line in lines {

@@ -77,7 +77,9 @@ pub fn read_bin<R: Read>(reader: R) -> Result<CsrMatrix> {
     // Guard against absurd headers before allocating.
     const LIMIT: usize = 1 << 33;
     if nrows >= LIMIT || ncols >= LIMIT || nnz >= LIMIT {
-        return Err(SparseError::Parse("header dimensions implausibly large".into()));
+        return Err(SparseError::Parse(
+            "header dimensions implausibly large".into(),
+        ));
     }
     let mut row_ptr = Vec::with_capacity(nrows + 1);
     for _ in 0..=nrows {

@@ -118,7 +118,7 @@ mod tests {
             max_iters: 20,
             rel_tolerance: 1e-12,
         };
-        let res = conjugate_gradient(&a, &b, &vec![0.0; 16], &opts);
+        let res = conjugate_gradient(&a, &b, &[0.0; 16], &opts);
         assert!(res.converged, "history: {:?}", res.residual_history);
     }
 

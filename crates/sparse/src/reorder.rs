@@ -127,7 +127,12 @@ pub fn reverse_cuthill_mckee(a: &CsrMatrix) -> Permutation {
         while let Some(v) = queue.pop_front() {
             order.push(v);
             scratch.clear();
-            scratch.extend(a.row_cols(v).iter().copied().filter(|&w| w != v && !visited[w]));
+            scratch.extend(
+                a.row_cols(v)
+                    .iter()
+                    .copied()
+                    .filter(|&w| w != v && !visited[w]),
+            );
             scratch.sort_by_key(|&w| degree(w));
             for &w in &scratch {
                 if !visited[w] {

@@ -18,8 +18,8 @@
 //! If you have the original SuiteSparse files, read them with
 //! [`crate::io::read_matrix_market_file`] and run the same harness on them.
 
-use crate::gen::{clique_grid2d, clique_grid3d, fe_clique, grid2d_poisson, CliqueOptions};
 use crate::gen::fe::FeMeshOptions;
+use crate::gen::{clique_grid2d, clique_grid3d, fe_clique, grid2d_poisson, CliqueOptions};
 use crate::CsrMatrix;
 
 /// The Block Jacobi behaviour the paper reports for the original matrix.

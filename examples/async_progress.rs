@@ -9,9 +9,7 @@
 
 use distributed_southwell::core::dist::{distribute, DistributedSouthwellRank};
 use distributed_southwell::partition::{partition_multilevel, Graph, MultilevelOptions};
-use distributed_southwell::rma::{
-    AsyncExecutor, AsyncOptions, CostModel, ExecMode, Executor,
-};
+use distributed_southwell::rma::{AsyncExecutor, AsyncOptions, CostModel, ExecMode, Executor};
 use distributed_southwell::sparse::{gen, vecops};
 
 fn main() {

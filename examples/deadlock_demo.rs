@@ -23,11 +23,7 @@ fn main() {
     let mut x0 = gen::random_guess(n, 11);
     let s = 1.0 / vecops::norm2(&a.residual(&b, &x0));
     x0.iter_mut().for_each(|v| *v *= s);
-    let part = partition_multilevel(
-        &Graph::from_matrix(&a),
-        16,
-        MultilevelOptions::default(),
-    );
+    let part = partition_multilevel(&Graph::from_matrix(&a), 16, MultilevelOptions::default());
     let opts = DistOptions {
         max_steps: 300,
         target_residual: Some(1e-4),
@@ -35,7 +31,10 @@ fn main() {
     };
 
     for (label, m) in [
-        ("piggyback-only (ICCS'16)", Method::ParallelSouthwellPiggybackOnly),
+        (
+            "piggyback-only (ICCS'16)",
+            Method::ParallelSouthwellPiggybackOnly,
+        ),
         ("Parallel Southwell", Method::ParallelSouthwell),
         ("Distributed Southwell", Method::DistributedSouthwell),
     ] {

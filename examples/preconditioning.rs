@@ -36,10 +36,7 @@ fn main() {
             rel_tolerance: 1e-10,
         },
     );
-    println!(
-        "{:<34} {:>10} {:>12}",
-        "stage", "CG iters", "msgs/rank"
-    );
+    println!("{:<34} {:>10} {:>12}", "stage", "CG iters", "msgs/rank");
     println!(
         "{:<34} {:>10} {:>12}",
         "CG alone",

@@ -19,15 +19,17 @@ fn main() {
     let mut x0 = gen::random_guess(n, 5);
     let s = 1.0 / vecops::norm2(&a.residual(&b, &x0));
     x0.iter_mut().for_each(|v| *v *= s);
-    println!("ldoor stand-in, {} rows — residual after 50 parallel steps:", n);
+    println!(
+        "ldoor stand-in, {} rows — residual after 50 parallel steps:",
+        n
+    );
     println!(
         "{:>6} {:>14} {:>14} {:>14}",
         "ranks", "Block Jacobi", "Par Southwell", "Dist Southwell"
     );
 
     for p in [4usize, 8, 16, 32, 64, 128] {
-        let part =
-            partition_multilevel(&Graph::from_matrix(&a), p, MultilevelOptions::default());
+        let part = partition_multilevel(&Graph::from_matrix(&a), p, MultilevelOptions::default());
         let opts = DistOptions {
             max_steps: 50,
             target_residual: None,

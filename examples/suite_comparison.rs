@@ -25,7 +25,11 @@ fn main() {
     // Scaled-down build so the example runs in seconds.
     let a = entry.build_small(0.5);
     let n = a.nrows();
-    println!("{name} stand-in: {} rows, {} nonzeros, {ranks} ranks", n, a.nnz());
+    println!(
+        "{name} stand-in: {} rows, {} nonzeros, {ranks} ranks",
+        n,
+        a.nnz()
+    );
 
     let b = vec![0.0; n];
     let mut x0 = gen::random_guess(n, 1);
@@ -48,7 +52,10 @@ fn main() {
     .map(|&m| run_method(m, &a, &b, &x0, &part, &opts))
     .collect();
 
-    println!("\n{:>4} {:>14} {:>14} {:>14}", "step", "BJ ‖r‖", "PS ‖r‖", "DS ‖r‖");
+    println!(
+        "\n{:>4} {:>14} {:>14} {:>14}",
+        "step", "BJ ‖r‖", "PS ‖r‖", "DS ‖r‖"
+    );
     let steps = reports.iter().map(|r| r.records.len()).max().unwrap();
     for k in 0..steps {
         let cell = |i: usize| {

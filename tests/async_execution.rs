@@ -4,17 +4,12 @@
 //! implementation actually runs in. Distributed Southwell treats all its
 //! neighbor data as estimates, so it tolerates the staleness.
 
-use distributed_southwell::core::dist::{
-    distribute, BlockJacobiRank, DistributedSouthwellRank,
-};
+use distributed_southwell::core::dist::{distribute, BlockJacobiRank, DistributedSouthwellRank};
 use distributed_southwell::partition::{partition_multilevel, Graph, MultilevelOptions};
 use distributed_southwell::rma::{AsyncExecutor, AsyncOptions};
 use distributed_southwell::sparse::{gen, vecops};
 
-fn problem(
-    nx: usize,
-    seed: u64,
-) -> (distributed_southwell::sparse::CsrMatrix, Vec<f64>, Vec<f64>) {
+fn problem(nx: usize, seed: u64) -> (distributed_southwell::sparse::CsrMatrix, Vec<f64>, Vec<f64>) {
     let mut a = gen::grid2d_poisson(nx, nx);
     a.scale_unit_diagonal().unwrap();
     let n = a.nrows();
@@ -114,7 +109,15 @@ fn async_and_superstep_agree_when_everyone_always_advances() {
     );
     async_ex.run_steps(12, 1_000);
 
-    let xs: Vec<f64> = sync_ex.ranks().iter().flat_map(|r| r.ls.x.clone()).collect();
-    let xa: Vec<f64> = async_ex.ranks().iter().flat_map(|r| r.ls.x.clone()).collect();
+    let xs: Vec<f64> = sync_ex
+        .ranks()
+        .iter()
+        .flat_map(|r| r.ls.x.clone())
+        .collect();
+    let xa: Vec<f64> = async_ex
+        .ranks()
+        .iter()
+        .flat_map(|r| r.ls.x.clone())
+        .collect();
     assert_eq!(xs, xa, "lock-step async must equal the superstep executor");
 }

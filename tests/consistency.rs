@@ -11,7 +11,10 @@ use distributed_southwell::partition::{
 use distributed_southwell::rma::ExecMode;
 use distributed_southwell::sparse::{gen, vecops};
 
-fn unit_problem(nx: usize, seed: u64) -> (distributed_southwell::sparse::CsrMatrix, Vec<f64>, Vec<f64>) {
+fn unit_problem(
+    nx: usize,
+    seed: u64,
+) -> (distributed_southwell::sparse::CsrMatrix, Vec<f64>, Vec<f64>) {
     let mut a = gen::grid2d_poisson(nx, nx);
     a.scale_unit_diagonal().unwrap();
     let n = a.nrows();

@@ -82,7 +82,10 @@ fn ds_uses_less_communication_than_ps_across_the_suite() {
             );
         }
     }
-    assert!(total >= 10, "most matrices should be comparable, got {total}");
+    assert!(
+        total >= 10,
+        "most matrices should be comparable, got {total}"
+    );
     assert!(
         wins * 4 >= total * 3,
         "DS should win on >= 3/4 of matrices: {wins}/{total}"
@@ -107,7 +110,10 @@ fn scalar_methods_solve_to_machine_precision() {
     let runs: Vec<(&str, Vec<f64>)> = vec![
         ("gs", scalar::gauss_seidel(&a, &b, &x0, &opts).0),
         ("jacobi", scalar::jacobi(&a, &b, &x0, &opts).0),
-        ("mcgs", scalar::multicolor_gauss_seidel(&a, &b, &x0, &opts).0),
+        (
+            "mcgs",
+            scalar::multicolor_gauss_seidel(&a, &b, &x0, &opts).0,
+        ),
         ("sw", scalar::sequential_southwell(&a, &b, &x0, &opts).0),
         ("psw", scalar::parallel_southwell(&a, &b, &x0, &opts).0),
         (
@@ -142,9 +148,7 @@ fn block_jacobi_degrades_with_rank_count_while_ds_does_not() {
             divergence_cutoff: None,
             ..DistOptions::default()
         };
-        bj_finals.push(
-            run_method(Method::BlockJacobi, &a, &b, &x0, &part, &opts).final_residual(),
-        );
+        bj_finals.push(run_method(Method::BlockJacobi, &a, &b, &x0, &part, &opts).final_residual());
         ds_finals.push(
             run_method(Method::DistributedSouthwell, &a, &b, &x0, &part, &opts).final_residual(),
         );

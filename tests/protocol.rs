@@ -138,10 +138,7 @@ fn ps_explicit_updates_follow_norm_changes_only() {
             // No one relaxed: no residual can have changed in this step's
             // phase 1, so no explicit updates were sent in it. (Residual
             // messages *read* this step were sent earlier.)
-            assert_eq!(
-                s.msgs_solve, 0,
-                "no solve messages without relaxations"
-            );
+            assert_eq!(s.msgs_solve, 0, "no solve messages without relaxations");
         }
     }
 }

@@ -45,9 +45,21 @@ fn direct_cg_multigrid_and_southwell_agree() {
     };
     let x_ds = scalar::distributed_southwell_scalar(&a, &b, &vec![0.0; n], &opts).x;
 
-    assert!(err(&x_cg, &x_direct) < 1e-9, "CG vs direct: {}", err(&x_cg, &x_direct));
-    assert!(err(&x_mg, &x_direct) < 1e-9, "MG vs direct: {}", err(&x_mg, &x_direct));
-    assert!(err(&x_ds, &x_direct) < 1e-9, "DS vs direct: {}", err(&x_ds, &x_direct));
+    assert!(
+        err(&x_cg, &x_direct) < 1e-9,
+        "CG vs direct: {}",
+        err(&x_cg, &x_direct)
+    );
+    assert!(
+        err(&x_mg, &x_direct) < 1e-9,
+        "MG vs direct: {}",
+        err(&x_mg, &x_direct)
+    );
+    assert!(
+        err(&x_ds, &x_direct) < 1e-9,
+        "DS vs direct: {}",
+        err(&x_ds, &x_direct)
+    );
 }
 
 #[test]

@@ -1,0 +1,172 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API surface the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `sample_size`, `throughput`, `bench_function`,
+//! `Bencher::iter`, and the `criterion_group!`/`criterion_main!` macros —
+//! as a plain timing harness: each benchmark runs a short warm-up, then a
+//! fixed number of timed samples, and the mean/min per-iteration times are
+//! printed. No statistics, no HTML reports, no comparisons to baselines.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value passthrough.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Declared throughput of a benchmark (accepted, echoed in the report).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The timing context handed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    /// Mean seconds per iteration of the last `iter` call.
+    last_mean: f64,
+    /// Fastest single iteration of the last `iter` call.
+    last_min: f64,
+}
+
+impl Bencher {
+    /// Times `f`: warm-up once, then `samples` timed iterations.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        std_black_box(f());
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            std_black_box(f());
+            let dt = t0.elapsed();
+            total += dt;
+            min = min.min(dt);
+        }
+        self.last_mean = total.as_secs_f64() / self.samples as f64;
+        self.last_min = min.as_secs_f64();
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Declares the group's throughput (echoed in the report line).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.samples,
+            last_mean: 0.0,
+            last_min: 0.0,
+        };
+        f(&mut b);
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if b.last_mean > 0.0 => {
+                format!("  ({:.3e} elem/s)", n as f64 / b.last_mean)
+            }
+            Some(Throughput::Bytes(n)) if b.last_mean > 0.0 => {
+                format!("  ({:.3e} B/s)", n as f64 / b.last_mean)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{id}: mean {:.6} s, min {:.6} s over {} samples{rate}",
+            self.name, b.last_mean, b.last_min, b.samples
+        );
+        self
+    }
+
+    /// Ends the group (no-op; matches the criterion API).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            samples: 10,
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    /// Runs an ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let mut g = BenchmarkGroup {
+            name: "bench".to_string(),
+            samples: 10,
+            throughput: None,
+            _parent: self,
+        };
+        g.bench_function(id, f);
+        self
+    }
+}
+
+/// Bundles benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3).throughput(Throughput::Elements(10));
+        let mut count = 0u64;
+        g.bench_function("count", |b| b.iter(|| count += 1));
+        g.finish();
+        // warm-up + 3 samples
+        assert_eq!(count, 4);
+    }
+
+    criterion_group!(group_runs, trivial);
+
+    #[test]
+    fn harness_executes_closures() {
+        group_runs();
+    }
+}

@@ -1,0 +1,91 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Implements only `crossbeam::thread::scope` — the one API this workspace
+//! uses — on top of `std::thread::scope` (stable since Rust 1.63). The
+//! crossbeam signature returns `Err` when a spawned thread panicked, where
+//! std re-raises; a `catch_unwind` bridges the two.
+
+/// Scoped threads (subset of `crossbeam::thread`).
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Error of a scope whose worker panicked.
+    pub type ScopeError = Box<dyn Any + Send + 'static>;
+
+    /// A scope handle that can spawn borrowing threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope handle,
+        /// matching crossbeam's `spawn(|scope| ...)` signature.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || {
+                let scope = Scope { inner };
+                f(&scope)
+            })
+        }
+    }
+
+    /// Creates a scope for spawning threads that borrow from the caller.
+    /// Returns `Err` with the panic payload if any spawned thread panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, ScopeError>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| {
+                let scope = Scope { inner: s };
+                f(&scope)
+            })
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let mut out = vec![0u64; 4];
+        thread::scope(|s| {
+            for (chunk, d) in out.chunks_mut(2).zip(data.chunks(2)) {
+                s.spawn(move |_| {
+                    for (o, v) in chunk.iter_mut().zip(d) {
+                        *o = v * 10;
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(out, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn panics_surface_as_err() {
+        let r = thread::scope(|s| {
+            s.spawn(|_| panic!("worker died"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_through_the_scope_handle() {
+        let r = thread::scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| 21u64);
+                21u64
+            });
+        });
+        assert!(r.is_ok());
+    }
+}
