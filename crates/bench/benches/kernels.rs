@@ -3,9 +3,11 @@
 //! single superstep of the RMA executor.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use dsw_core::dist::{distribute, DistributedSouthwellRank};
+use dsw_core::dist::{
+    distribute, BlockJacobiRank, DistributedSouthwellRank, LocalSystem, ParallelSouthwellRank,
+};
 use dsw_partition::{partition_multilevel, Graph, MultilevelOptions};
-use dsw_rma::{CostModel, ExecMode, Executor};
+use dsw_rma::{CostModel, ExecMode, Executor, RankAlgorithm};
 use dsw_sparse::gen;
 
 fn bench_spmv(c: &mut Criterion) {
@@ -70,11 +72,74 @@ fn bench_executor_step(c: &mut Criterion) {
     group.finish();
 }
 
+/// Shared setup for the 512-rank executor comparison: the §4.2 Poisson
+/// problem (4096 rows) partitioned to the scaling sweep's top rank count.
+fn executor_problem_512() -> (Vec<LocalSystem>, Vec<f64>, Vec<f64>) {
+    let mut a = gen::grid2d_poisson(64, 64);
+    a.scale_unit_diagonal().unwrap();
+    let n = a.nrows();
+    let b = vec![0.0; n];
+    let x0 = gen::random_guess(n, 3);
+    let g = Graph::from_matrix(&a);
+    let part = partition_multilevel(&g, 512, MultilevelOptions::default());
+    let locals = distribute(&a, &b, &x0, &part).unwrap();
+    let norms: Vec<f64> = locals.iter().map(|l| l.residual_norm_sq()).collect();
+    let r0 = a.residual(&b, &x0);
+    (locals, norms, r0)
+}
+
+fn bench_one_mode<A: RankAlgorithm>(
+    group: &mut criterion::BenchmarkGroup<'_>,
+    name: &str,
+    ranks: Vec<A>,
+    mode: ExecMode,
+) {
+    let mut ex = Executor::new(ranks, CostModel::default(), mode);
+    group.bench_function(name, |b| b.iter(|| ex.step()));
+}
+
+/// Old vs new executor on 512-rank supersteps: `pool4` is the persistent
+/// work-stealing pool (`ExecMode::Threaded`), `spawn4` the legacy
+/// per-phase `crossbeam::thread::scope` scheduler (`ThreadedSpawn`), with
+/// `seq` as the single-thread floor. The pool's win is the amortized
+/// thread start-up: `spawn4` pays a spawn+join per *phase*.
+fn bench_executor_pool_vs_spawn(c: &mut Criterion) {
+    let (locals, norms, r0) = executor_problem_512();
+    let mut group = c.benchmark_group("executor_512");
+    group.sample_size(10);
+    for (label, mode) in [
+        ("seq", ExecMode::Sequential),
+        ("pool4", ExecMode::Threaded(4)),
+        ("spawn4", ExecMode::ThreadedSpawn(4)),
+    ] {
+        bench_one_mode(
+            &mut group,
+            &format!("ds_step_512_{label}"),
+            DistributedSouthwellRank::build(locals.clone(), &norms, &r0),
+            mode,
+        );
+        bench_one_mode(
+            &mut group,
+            &format!("ps_step_512_{label}"),
+            ParallelSouthwellRank::build(locals.clone(), &norms),
+            mode,
+        );
+        bench_one_mode(
+            &mut group,
+            &format!("bj_step_512_{label}"),
+            BlockJacobiRank::build(locals.clone()),
+            mode,
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     kernels,
     bench_spmv,
     bench_local_sweep,
     bench_partitioner,
-    bench_executor_step
+    bench_executor_step,
+    bench_executor_pool_vs_spawn
 );
 criterion_main!(kernels);

@@ -116,6 +116,11 @@ pub struct ChaosRow {
     pub watchdog_nudges: u64,
     /// The run froze permanently.
     pub deadlocked: bool,
+    /// Mean per-step load imbalance (slowest rank / mean measured compute
+    /// time) — stalls and drops skew this beyond the protocol's own skew.
+    pub mean_imbalance: f64,
+    /// Executor worker utilization (busy / (span × workers)).
+    pub worker_utilization: f64,
 }
 
 fn run_one(scenario: &Scenario, recovery: bool, ctx: &ExperimentCtx) -> ChaosRow {
@@ -169,6 +174,8 @@ fn run_one(scenario: &Scenario, recovery: bool, ctx: &ExperimentCtx) -> ChaosRow
         stale_discards: rep.stale_discards,
         watchdog_nudges: rep.watchdog_nudges,
         deadlocked: rep.deadlocked,
+        mean_imbalance: rep.mean_imbalance(),
+        worker_utilization: rep.worker_utilization(),
     }
 }
 
@@ -229,6 +236,8 @@ pub fn run_chaos(ctx: &ExperimentCtx) -> Vec<ChaosRow> {
             r.stale_discards.to_string(),
             r.watchdog_nudges.to_string(),
             r.deadlocked.to_string(),
+            format!("{:.3}", r.mean_imbalance),
+            format!("{:.3}", r.worker_utilization),
         ]);
     }
     write_csv(
@@ -247,6 +256,8 @@ pub fn run_chaos(ctx: &ExperimentCtx) -> Vec<ChaosRow> {
             "stale_discards",
             "watchdog_nudges",
             "deadlocked",
+            "mean_imbalance",
+            "worker_utilization",
         ],
         &csv,
     );
@@ -272,6 +283,21 @@ mod tests {
         assert!(clean.converged_at.is_some());
         assert_eq!(clean.drift_repairs, 0);
         assert_eq!(clean.stale_discards, 0);
+        // The load-imbalance observables populate under chaos too.
+        for r in &rows {
+            assert!(
+                r.mean_imbalance >= 1.0,
+                "{}: {}",
+                r.scenario,
+                r.mean_imbalance
+            );
+            assert!(
+                r.worker_utilization > 0.0 && r.worker_utilization <= 1.0,
+                "{}: {}",
+                r.scenario,
+                r.worker_utilization
+            );
+        }
         // Every chaos scenario converges with the standard recovery
         // preset — the acceptance bar of this reproduction's fault model.
         for r in rows.iter().filter(|r| r.recovery) {

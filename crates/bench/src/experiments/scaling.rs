@@ -34,6 +34,11 @@ pub struct ScalingPoint {
     pub time_to_target: Option<f64>,
     /// Residual norm after the full 50 steps.
     pub residual_after_50: f64,
+    /// Mean per-step load imbalance (slowest rank / mean measured compute
+    /// time): the paper's few-winners regime made visible.
+    pub mean_imbalance: f64,
+    /// Executor worker utilization (busy / (span × workers)).
+    pub worker_utilization: f64,
 }
 
 /// Rank counts for the sweep at a given context scale.
@@ -76,6 +81,8 @@ pub fn scaling_points(ctx: &ExperimentCtx) -> Vec<ScalingPoint> {
                     method: m,
                     time_to_target: rep.time_to_reach(0.1),
                     residual_after_50: rep.final_residual(),
+                    mean_imbalance: rep.mean_imbalance(),
+                    worker_utilization: rep.worker_utilization(),
                 });
             }
         }
@@ -98,6 +105,8 @@ pub fn run_fig8(ctx: &ExperimentCtx) -> Vec<ScalingPoint> {
             "method",
             "time_to_target_s",
             "residual_after_50",
+            "mean_imbalance",
+            "worker_utilization",
         ],
         &rows,
     );
@@ -119,6 +128,8 @@ pub fn run_fig9(ctx: &ExperimentCtx) -> Vec<ScalingPoint> {
             "method",
             "time_to_target_s",
             "residual_after_50",
+            "mean_imbalance",
+            "worker_utilization",
         ],
         &rows,
     );
@@ -135,6 +146,8 @@ fn csv_rows(points: &[ScalingPoint]) -> Vec<Vec<String>> {
                 pt.method.label().to_string(),
                 fmt_or_dagger(pt.time_to_target, 6),
                 format!("{:.6e}", pt.residual_after_50),
+                format!("{:.3}", pt.mean_imbalance),
+                format!("{:.3}", pt.worker_utilization),
             ]
         })
         .collect()
@@ -190,6 +203,21 @@ mod tests {
                 pt.matrix,
                 pt.ranks,
                 pt.residual_after_50
+            );
+        }
+        // The load-imbalance observables populate for every point.
+        for pt in &pts {
+            assert!(
+                pt.mean_imbalance >= 1.0,
+                "{}: {}",
+                pt.matrix,
+                pt.mean_imbalance
+            );
+            assert!(
+                pt.worker_utilization > 0.0 && pt.worker_utilization <= 1.0,
+                "{}: {}",
+                pt.matrix,
+                pt.worker_utilization
             );
         }
     }

@@ -32,16 +32,44 @@ impl Problem {
 }
 
 /// Builds the §4.2 problem for an (already unit-scaled) matrix.
+///
+/// # Panics
+/// If no random guess with a nonzero initial residual can be found (see
+/// [`try_setup_problem`]) — possible only for a degenerate (e.g. all-zero)
+/// matrix.
 pub fn setup_problem(a: CsrMatrix, seed: u64) -> Problem {
+    try_setup_problem(a, seed).expect("problem setup failed")
+}
+
+/// As [`setup_problem`], but reports failure instead of panicking.
+///
+/// The initial guess is scaled by `1 / ‖r⁰‖₂`; a guess that already solves
+/// the system (zero residual) would turn that into `inf`/NaN and poison
+/// every downstream norm. Such a guess is reseeded a few times — it can
+/// only recur if the matrix maps every guess to zero (e.g. a zero matrix),
+/// which is reported as an error naming the problem.
+pub fn try_setup_problem(a: CsrMatrix, seed: u64) -> Result<Problem, String> {
+    const RESEED_ATTEMPTS: u64 = 8;
     let n = a.nrows();
     let b = vec![0.0; n];
-    let mut x0 = gen::random_guess(n, seed);
-    let r0 = a.residual(&b, &x0);
-    let scale = 1.0 / vecops::norm2(&r0);
-    for v in x0.iter_mut() {
-        *v *= scale;
+    for attempt in 0..RESEED_ATTEMPTS {
+        let mut x0 = gen::random_guess(n, seed.wrapping_add(attempt));
+        let r0 = a.residual(&b, &x0);
+        let norm = vecops::norm2(&r0);
+        if !norm.is_finite() || norm == 0.0 {
+            continue;
+        }
+        let scale = 1.0 / norm;
+        for v in x0.iter_mut() {
+            *v *= scale;
+        }
+        return Ok(Problem { a, b, x0 });
     }
-    Problem { a, b, x0 }
+    Err(format!(
+        "setup_problem: every random guess (seed {seed}, {RESEED_ATTEMPTS} reseeds) \
+         produced a zero or non-finite initial residual; the matrix appears to \
+         annihilate all guesses (zero or near-zero matrix?)"
+    ))
 }
 
 /// Partitions a suite problem over `p` ranks with the multilevel
@@ -166,6 +194,34 @@ mod tests {
         let r0 = p.a.residual(&p.b, &p.x0);
         assert!((vecops::norm2(&r0) - 1.0).abs() < 1e-12);
         assert!(p.b.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn setup_problem_rejects_zero_initial_residual() {
+        // Regression: a guess that already solves the system made
+        // `scale = 1/‖r⁰‖` infinite and poisoned x0 with inf/NaN. A zero
+        // matrix annihilates every guess, so every reseed fails and the
+        // error must say so instead of returning a poisoned problem.
+        let zero = dsw_sparse::CooBuilder::new(4, 4).build().unwrap();
+        let err = match try_setup_problem(zero, 7) {
+            Err(e) => e,
+            Ok(_) => panic!("zero matrix must be rejected"),
+        };
+        assert!(err.contains("zero or non-finite"), "unhelpful error: {err}");
+        // A healthy matrix still sets up fine through the fallible path...
+        let mut a = gen::grid2d_poisson(6, 6);
+        a.scale_unit_diagonal().unwrap();
+        let p = try_setup_problem(a, 7).expect("healthy setup");
+        assert!(p.x0.iter().all(|v| v.is_finite()));
+        let r0 = p.a.residual(&p.b, &p.x0);
+        assert!((vecops::norm2(&r0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "problem setup failed")]
+    fn setup_problem_panics_with_clear_message_on_degenerate_matrix() {
+        let zero = dsw_sparse::CooBuilder::new(3, 3).build().unwrap();
+        let _ = setup_problem(zero, 1);
     }
 
     #[test]

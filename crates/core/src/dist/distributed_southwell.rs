@@ -451,6 +451,45 @@ impl RankAlgorithm for DistributedSouthwellRank {
                 self.sent_prev_phase.iter_mut().for_each(|f| *f = false);
                 self.my_norm_sq = self.ls.residual_norm_sq();
                 ctx.add_flops(2 * self.ls.nrows() as u64);
+                // Coalescing leak fix: deltas parked in `pending_dr` by the
+                // variable-threshold rule were only reconsidered on the
+                // rank's *next* relaxation — a rank that stopped winning
+                // (or converged) left its neighbors' ghost residuals
+                // permanently stale. Re-evaluate the parked deltas against
+                // the current norm every step: because the threshold is
+                // relative to our own shrinking residual, everything
+                // pending flushes as we approach convergence.
+                let thresh = self.cfg.solve_msg_threshold;
+                if thresh > 0.0 {
+                    for s in 0..self.ls.nneighbors() {
+                        let mut acc_sq = 0.0;
+                        for &slot in &self.ls.ghosts_of[s] {
+                            let p = self.pending_dr[slot as usize];
+                            acc_sq += p * p;
+                        }
+                        if acc_sq == 0.0 || acc_sq < thresh * thresh * self.my_norm_sq {
+                            continue;
+                        }
+                        let dr: Vec<f64> = self.ls.ghosts_of[s]
+                            .iter()
+                            .map(|&slot| {
+                                let slot = slot as usize;
+                                let v = self.pending_dr[slot];
+                                self.pending_dr[slot] = 0.0;
+                                v
+                            })
+                            .collect();
+                        let body = DistMsg::Solve {
+                            dr,
+                            boundary_r: self.ls.boundary_residuals(s),
+                            norm_sq: self.my_norm_sq,
+                            est_of_target_sq: self.gamma_sq[s],
+                        };
+                        self.send(ctx, s, CommClass::Solve, body);
+                        self.tilde_sq[s] = self.my_norm_sq;
+                        self.sent_prev_phase[s] = true;
+                    }
+                }
                 if self.force_rebroadcast {
                     // Watchdog response: unconditionally rebroadcast exact
                     // boundary residuals and norms to every neighbor. This
@@ -645,6 +684,70 @@ mod tests {
                 assert!((k - t).abs() < 1e-10, "kept {k} vs true {t}");
             }
         }
+    }
+
+    #[test]
+    fn coalesced_deltas_flush_when_rank_converges() {
+        // Regression for the variable-threshold residual leak: deltas
+        // parked in `pending_dr` were only reconsidered on the rank's
+        // *next relaxation*, so a rank whose residual collapsed (it
+        // converged, or incoming deltas solved its subdomain) never won
+        // again and left its neighbors' ghost residuals permanently stale.
+        // The phase-1 flush re-evaluates parked deltas against the current
+        // norm every step, so a converged rank delivers them.
+        let cfg = DsConfig {
+            solve_msg_threshold: 0.9,
+            ..DsConfig::default()
+        };
+        let (_a, _b, mut ex) = build_ds(12, 12, 4, cfg);
+        // Run until some rank has deltas parked by the coalescing rule.
+        let mut victim = None;
+        for _ in 0..200 {
+            ex.step();
+            if let Some(p) = ex
+                .ranks()
+                .iter()
+                .position(|r| r.pending_dr.iter().any(|&v| v != 0.0))
+            {
+                victim = Some(p);
+                break;
+            }
+        }
+        let p = victim.expect("θ = 0.9 must park deltas within 200 steps");
+        let parked: Vec<f64> = ex.ranks()[p].pending_dr.clone();
+        // Simulate the rank converging: its maintained residual hits zero
+        // while the parked deltas are still undelivered.
+        ex.ranks_mut()[p].ls.r.iter_mut().for_each(|v| *v = 0.0);
+        let neighbors = ex.ranks()[p].ls.neighbors.clone();
+        let ghost_r_before: Vec<Vec<f64>> = neighbors
+            .iter()
+            .map(|&q| ex.ranks()[q].ls.r.clone())
+            .collect();
+        let msgs_before = ex.stats.total_msgs_solve();
+        // Two steps: phase 1 of the first flushes (visible to neighbors at
+        // the next epoch), phase 0 of the second applies the deltas.
+        ex.step();
+        ex.step();
+        assert!(
+            ex.ranks()[p].pending_dr.iter().all(|&v| v == 0.0),
+            "parked deltas must flush once the rank's norm collapses: {:?}",
+            ex.ranks()[p].pending_dr
+        );
+        assert!(
+            ex.stats.total_msgs_solve() > msgs_before,
+            "the flush must go out as a Solve message"
+        );
+        // The neighbors' maintained residuals moved by the delivered
+        // deltas (ghost state repaired, not silently discarded).
+        let moved = neighbors
+            .iter()
+            .zip(&ghost_r_before)
+            .any(|(&q, before)| ex.ranks()[q].ls.r != *before);
+        assert!(moved, "flushed deltas must land in neighbor residuals");
+        assert!(
+            parked.iter().any(|&v| v != 0.0),
+            "sanity: the victim really had parked deltas"
+        );
     }
 
     #[test]

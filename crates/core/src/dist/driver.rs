@@ -97,6 +97,12 @@ pub struct StepRecord {
     pub time: f64,
     /// Ranks that relaxed in this step.
     pub active_ranks: u64,
+    /// Cumulative *measured* compute wall-time across all ranks, ns
+    /// (observability only — the modelled clock is `time`).
+    pub compute_ns: u64,
+    /// Load imbalance of this step: slowest rank's measured compute time
+    /// over the mean (1.0 = perfectly balanced, 0 steps → 1.0).
+    pub imbalance: f64,
 }
 
 /// The full report of one distributed run.
@@ -181,6 +187,19 @@ impl DistReport {
     /// Relaxations per unknown expended to reach `target`.
     pub fn relaxations_to_reach(&self, target: f64) -> Option<f64> {
         self.crossing(target, |r| r.relaxations as f64 / self.n as f64)
+    }
+
+    /// Mean per-step load imbalance (slowest rank / mean rank measured
+    /// compute time; 1.0 = balanced). Reflects the paper's regime where
+    /// most ranks idle while the winning ranks relax.
+    pub fn mean_imbalance(&self) -> f64 {
+        self.stats.mean_imbalance()
+    }
+
+    /// Executor worker utilization: busy time / (dispatch span × workers).
+    /// 0.0 when timing was not measured.
+    pub fn worker_utilization(&self) -> f64 {
+        self.stats.worker_utilization()
     }
 }
 
@@ -273,6 +292,8 @@ where
         msgs_recovery: 0,
         time: 0.0,
         active_ranks: 0,
+        compute_ns: 0,
+        imbalance: 1.0,
     }];
     let mut converged_at = None;
     let mut deadlocked = false;
@@ -296,6 +317,8 @@ where
             msgs_recovery: prev.msgs_recovery + s.msgs_recovery,
             time: prev.time + s.time,
             active_ranks: s.active_ranks,
+            compute_ns: prev.compute_ns + s.compute_ns,
+            imbalance: s.imbalance(nranks),
         });
         if s.relaxations > 0 {
             nudges_since_relax = 0;
@@ -460,6 +483,11 @@ mod tests {
         // Crossing metrics are monotone sensible.
         let s = rep.steps_to_reach(0.1).unwrap();
         assert!(s > 0.0 && s <= rep.records.len() as f64);
+        // Measured-timing observables populate and are sane.
+        assert!(rep.records.last().unwrap().compute_ns > 0);
+        assert!(rep.mean_imbalance() >= 1.0);
+        assert!(rep.worker_utilization() > 0.0 && rep.worker_utilization() <= 1.0);
+        assert!(rep.records[1..].iter().all(|r| r.imbalance >= 1.0));
     }
 
     #[test]

@@ -95,8 +95,10 @@ impl LocalSystem {
         // The local block is solved exactly.
         self.r.iter_mut().for_each(|v| *v = 0.0);
         let m = self.nrows() as u64;
-        // Two triangular solves.
-        m * m + 2 * (self.a_ext_idx.len() as u64)
+        // Two triangular solves (forward + backward, ~m² each) plus the
+        // off-process delta accumulation (one multiply-add per external
+        // coupling entry).
+        2 * m * m + 2 * (self.a_ext_idx.len() as u64)
     }
 }
 
@@ -140,6 +142,27 @@ mod tests {
         let r_kept = crate::dist::layout::gather_r(&locals, n);
         for (k, t) in r_kept.iter().zip(&r_true) {
             assert!((k - t).abs() < 1e-11, "{k} vs {t}");
+        }
+    }
+
+    #[test]
+    fn exact_solve_flop_model_charges_both_triangular_solves() {
+        // Regression: the model charged m·m for "two triangular solves";
+        // a dense forward + backward substitution is 2·m² (+ the external
+        // delta accumulation), so exact solves were under-billed 2x
+        // relative to the Gauss–Seidel sweep on the modelled clock.
+        let a = gen::grid2d_poisson(8, 8);
+        let n = a.nrows();
+        let b = gen::random_rhs(n, 1);
+        let part = partition_strip(n, 4);
+        let mut locals = distribute(&a, &b, &vec![0.0; n], &part).unwrap();
+        for ls in locals.iter_mut() {
+            let solver = LocalSolverImpl::new(LocalSolver::Exact, ls);
+            let m = ls.nrows() as u64;
+            let ext_nnz = ls.a_ext_idx.len() as u64;
+            let mut gdr = vec![0.0; ls.ext_cols.len()];
+            let flops = solver.relax(ls, &mut gdr);
+            assert_eq!(flops, 2 * m * m + 2 * ext_nnz);
         }
     }
 

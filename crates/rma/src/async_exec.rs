@@ -139,6 +139,7 @@ impl<A: RankAlgorithm> AsyncExecutor<A> {
         let nphases = self.ranks[0].phases();
         let min_clock = *self.clock.iter().min().unwrap();
         let mut advanced = 0;
+        let t_tick = std::time::Instant::now();
         let mut step = StepStats::default();
         // Messages produced this tick are held back until the tick ends, so
         // a rank never sees a same-tick neighbor's output mid-flight (the
@@ -158,9 +159,14 @@ impl<A: RankAlgorithm> AsyncExecutor<A> {
             inbox.sort_by_key(|e| e.src);
             let phase = self.clock[i] % nphases;
             let mut ctx = PhaseCtx::new_for_async(i);
+            let t0 = std::time::Instant::now();
             self.ranks[i].phase(phase, &inbox, &mut ctx);
+            let wall_ns = t0.elapsed().as_nanos() as u64;
             let (outbox, totals) = ctx.into_outbox_and_totals();
             self.stats.msgs_per_rank[i] += totals.msgs;
+            self.stats.rank_time_ns[i] += wall_ns;
+            step.compute_ns += wall_ns;
+            step.compute_ns_max_rank = step.compute_ns_max_rank.max(wall_ns);
             step.msgs += totals.msgs;
             step.msgs_solve += totals.msgs_solve;
             step.msgs_residual += totals.msgs_residual;
@@ -207,7 +213,10 @@ impl<A: RankAlgorithm> AsyncExecutor<A> {
             }
         }
         self.ticks += 1;
-        // Record a pseudo-step for the counters.
+        // Record a pseudo-step for the counters. The tick runs on the
+        // calling thread, so span == one worker's busy time.
+        step.span_ns = t_tick.elapsed().as_nanos() as u64;
+        step.workers = 1;
         self.stats.steps.push(step);
         advanced
     }
@@ -266,6 +275,10 @@ mod tests {
         // Values grew (messages flowed).
         assert!(ex.ranks().iter().all(|r| r.value > 1));
         assert!(ex.stats.total_msgs() > 0);
+        // Timing observables populate here too.
+        assert!(ex.stats.rank_time_ns.iter().all(|&ns| ns > 0));
+        assert!(ex.stats.total_compute_ns() > 0);
+        assert!(ex.stats.total_span_ns() >= ex.stats.total_compute_ns() / 2);
     }
 
     #[test]

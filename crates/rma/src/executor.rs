@@ -1,7 +1,9 @@
 //! The superstep executor: epochs, puts, delivery, counters.
 
 use crate::fault::{ChaosConfig, FaultInjector};
+use crate::pool::WorkerPool;
 use crate::stats::{CommClass, CostModel, RunStats, StepStats};
+use std::time::Instant;
 
 /// A message as it sits in a target rank's memory window.
 #[derive(Debug, Clone)]
@@ -36,13 +38,24 @@ pub(crate) struct PhaseTotals {
     pub flops: u64,
     pub relaxations: u64,
     pub active: bool,
+    /// Measured wall-clock ns of this rank's phase callback (set by the
+    /// executor, not the rank; feeds the load-imbalance observables only —
+    /// never the deterministic counters).
+    pub wall_ns: u64,
 }
 
 impl<M> PhaseCtx<M> {
     fn new(rank: usize) -> Self {
+        Self::with_outbox(rank, Vec::new())
+    }
+
+    /// Constructor reusing a preallocated (cleared) outbox buffer, so the
+    /// hot path stops reallocating every phase.
+    fn with_outbox(rank: usize, outbox: Vec<(usize, Envelope<M>)>) -> Self {
+        debug_assert!(outbox.is_empty());
         PhaseCtx {
             rank,
-            outbox: Vec::new(),
+            outbox,
             totals: PhaseTotals::default(),
         }
     }
@@ -122,11 +135,25 @@ pub trait RankAlgorithm: Send {
 pub enum ExecMode {
     /// All ranks run on the calling thread, in rank order.
     Sequential,
-    /// Ranks are sharded over `n` crossbeam-scoped threads. Results are
-    /// bit-identical to [`ExecMode::Sequential`] because ranks interact
-    /// only at epoch boundaries, which the executor serializes.
+    /// Rank phases are dispatched to a **persistent pool** of `n` worker
+    /// threads (created once per executor), which self-schedule batches of
+    /// ranks from a shared atomic cursor (work stealing — see
+    /// [`crate::pool`]). Results are bit-identical to
+    /// [`ExecMode::Sequential`] for any `n` and any steal order: ranks
+    /// interact only at epoch boundaries, which the executor serializes in
+    /// rank order, and fault decisions are drawn there too.
     Threaded(usize),
+    /// The legacy scheduler: a fresh `crossbeam::thread::scope` of `n`
+    /// threads per phase, ranks statically chunked contiguously. Same
+    /// bit-identical results, strictly worse performance (spawn/join per
+    /// phase, hot ranks cluster on one chunk). Kept so the `kernels`
+    /// criterion bench can measure the pool against it; prefer
+    /// [`ExecMode::Threaded`].
+    ThreadedSpawn(usize),
 }
+
+/// A per-rank phase result slot: the rank's outbox plus its counters.
+type PhaseSlot<M> = (Vec<(usize, Envelope<M>)>, PhaseTotals);
 
 /// A put whose delivery was deferred by fault injection.
 struct DelayedPut<M> {
@@ -141,6 +168,18 @@ pub struct Executor<A: RankAlgorithm> {
     ranks: Vec<A>,
     /// Inboxes holding envelopes visible at the next phase.
     inboxes: Vec<Vec<Envelope<A::Msg>>>,
+    /// Preallocated per-rank result slots (outbox, counters), refilled in
+    /// place every phase so the epoch close stops reallocating.
+    phase_out: Vec<PhaseSlot<A::Msg>>,
+    /// Per-rank compute-ns scratch for the current step (reset each step).
+    step_rank_ns: Vec<u64>,
+    /// Persistent worker pool ([`ExecMode::Threaded`] only).
+    pool: Option<WorkerPool>,
+    /// Work-stealing batch size override (`None` = auto; see
+    /// [`Executor::set_grain`]).
+    grain: Option<usize>,
+    /// Last observed cumulative per-worker busy ns (for per-step deltas).
+    worker_busy_seen: Vec<u64>,
     model: CostModel,
     mode: ExecMode,
     /// Fault decisions (drops / duplicates / delays / stalls).
@@ -156,6 +195,13 @@ pub struct Executor<A: RankAlgorithm> {
     pub stats: RunStats,
 }
 
+/// A raw pointer the pool closure may share across workers. Sound because
+/// each worker dereferences only the indices it claimed from the atomic
+/// cursor, and those claims are disjoint.
+struct SyncPtr<T>(*mut T);
+unsafe impl<T> Send for SyncPtr<T> {}
+unsafe impl<T> Sync for SyncPtr<T> {}
+
 impl<A: RankAlgorithm> Executor<A> {
     /// Creates an executor over `ranks` with the given cost model.
     pub fn new(ranks: Vec<A>, model: CostModel, mode: ExecMode) -> Self {
@@ -168,22 +214,56 @@ impl<A: RankAlgorithm> Executor<A> {
     /// If `chaos` fails [`ChaosConfig::validate`].
     pub fn with_chaos(ranks: Vec<A>, model: CostModel, mode: ExecMode, chaos: ChaosConfig) -> Self {
         assert!(!ranks.is_empty(), "need at least one rank");
-        if let ExecMode::Threaded(n) = mode {
-            assert!(n > 0, "threaded mode needs at least one thread");
+        if let ExecMode::Threaded(t) | ExecMode::ThreadedSpawn(t) = mode {
+            assert!(t > 0, "threaded mode needs at least one thread");
         }
         let n = ranks.len();
+        // Workers are created once, here, and live for the executor's
+        // lifetime; `step` only parks/unparks them.
+        let pool = match mode {
+            ExecMode::Threaded(t) => Some(WorkerPool::new(t.min(n))),
+            _ => None,
+        };
+        let nworkers = match mode {
+            ExecMode::Sequential => 1,
+            ExecMode::Threaded(t) | ExecMode::ThreadedSpawn(t) => t.min(n),
+        };
+        let mut stats = RunStats::new(n);
+        stats.worker_busy_ns = vec![0; nworkers];
         Executor {
             injector: FaultInjector::new(chaos, n),
             ranks,
             inboxes: (0..n).map(|_| Vec::new()).collect(),
+            phase_out: (0..n)
+                .map(|_| (Vec::new(), PhaseTotals::default()))
+                .collect(),
+            step_rank_ns: vec![0; n],
+            pool,
+            grain: None,
+            worker_busy_seen: vec![0; nworkers],
             model,
             mode,
             delayed: Vec::new(),
             epochs_executed: 0,
             trace: None,
             steps_executed: 0,
-            stats: RunStats::new(n),
+            stats,
         }
+    }
+
+    /// Overrides the work-stealing batch size (ranks claimed per cursor
+    /// fetch) for [`ExecMode::Threaded`]. The default grain targets ~8
+    /// batches per worker so tiny subdomains amortize cursor traffic while
+    /// hot ranks still spread; set `1` for maximal stealing granularity.
+    /// Scheduling-only: results are bit-identical for every grain.
+    pub fn set_grain(&mut self, grain: usize) {
+        assert!(grain >= 1, "grain must be at least 1");
+        self.grain = Some(grain);
+    }
+
+    /// The number of compute workers (1 for [`ExecMode::Sequential`]).
+    pub fn nworkers(&self) -> usize {
+        self.worker_busy_seen.len()
     }
 
     /// Direct access to the fault injector, e.g. to force targeted
@@ -237,19 +317,27 @@ impl<A: RankAlgorithm> Executor<A> {
         // Covers configured faults and targeted `inject_stall` calls.
         let faults_possible = self.injector.config().is_active() || stalled.contains(&true);
         for phase in 0..nphases {
-            let (outboxes, phase_stats) = self.run_phase(phase, &stalled);
-            // Epoch close: deliver puts. Outboxes are concatenated in origin
-            // rank order, so delivery is deterministic regardless of mode.
-            // A stalled rank has not read its inbox, so it keeps
-            // accumulating until the rank next executes a phase.
+            let t_dispatch = Instant::now();
+            self.run_phase(phase, &stalled);
+            step.span_ns += t_dispatch.elapsed().as_nanos() as u64;
+            // Epoch close: deliver puts. Result slots are visited in origin
+            // rank order, so delivery is deterministic regardless of mode
+            // (and of the pool's steal order), and the fault RNG is
+            // consulted here — per message, never per worker — so the
+            // chaos pattern is identical across modes too. A stalled rank
+            // has not read its inbox, so it keeps accumulating until the
+            // rank next executes a phase.
             for (inbox, &is_stalled) in self.inboxes.iter_mut().zip(&stalled) {
                 if !is_stalled {
                     inbox.clear();
                 }
             }
-            for (origin, outbox) in outboxes.into_iter().enumerate() {
+            // Detach the slots so `deliver` can borrow `self`; `drain`
+            // keeps every slot's capacity for the next phase.
+            let mut slots = std::mem::take(&mut self.phase_out);
+            for (origin, (outbox, _)) in slots.iter_mut().enumerate() {
                 self.stats.msgs_per_rank[origin] += outbox.len() as u64;
-                for (target, env) in outbox {
+                for (target, env) in outbox.drain(..) {
                     let fate = self.injector.fate(env.class);
                     if fate.dropped {
                         step.faults.dropped.add(env.class, 1);
@@ -302,7 +390,7 @@ impl<A: RankAlgorithm> Executor<A> {
             let mut max_flops = 0u64;
             let mut total_msgs = 0u64;
             let mut total_bytes = 0u64;
-            for ps in &phase_stats {
+            for (_, ps) in &slots {
                 max_flops = max_flops.max(ps.flops);
                 total_msgs += ps.msgs;
                 total_bytes += ps.bytes;
@@ -312,7 +400,7 @@ impl<A: RankAlgorithm> Executor<A> {
                 + self.model.gamma * max_flops as f64
                 + self.model.alpha * total_msgs as f64 / p
                 + self.model.beta * total_bytes as f64 / p;
-            for ps in &phase_stats {
+            for (i, (_, ps)) in slots.iter().enumerate() {
                 step.msgs += ps.msgs;
                 step.bytes += ps.bytes;
                 step.flops += ps.flops;
@@ -321,6 +409,24 @@ impl<A: RankAlgorithm> Executor<A> {
                 step.msgs_recovery += ps.msgs_recovery;
                 step.relaxations += ps.relaxations;
                 step.active_ranks += u64::from(ps.active);
+                step.compute_ns += ps.wall_ns;
+                self.step_rank_ns[i] += ps.wall_ns;
+            }
+            self.phase_out = slots;
+        }
+        // Fold the measured timing of this step (observables only — none of
+        // this feeds the deterministic counters or the modelled clock).
+        step.workers = self.nworkers() as u32;
+        for (i, ns) in self.step_rank_ns.iter_mut().enumerate() {
+            step.compute_ns_max_rank = step.compute_ns_max_rank.max(*ns);
+            self.stats.rank_time_ns[i] += *ns;
+            *ns = 0;
+        }
+        if let Some(pool) = &self.pool {
+            for w in 0..pool.nworkers() {
+                let cum = pool.busy_ns(w);
+                self.stats.worker_busy_ns[w] += cum - self.worker_busy_seen[w];
+                self.worker_busy_seen[w] = cum;
             }
         }
         self.stats.steps.push(step);
@@ -342,81 +448,125 @@ impl<A: RankAlgorithm> Executor<A> {
         self.inboxes[target].push(env);
     }
 
-    /// Runs `phase` on every non-stalled rank; returns outboxes and
-    /// per-rank counters. Stalled ranks contribute an empty outbox and
-    /// zero counters (they perform no work at all this phase).
-    #[allow(clippy::type_complexity)]
-    fn run_phase(
-        &mut self,
-        phase: usize,
-        stalled: &[bool],
-    ) -> (Vec<Vec<(usize, Envelope<A::Msg>)>>, Vec<PhaseTotals>) {
+    /// Runs `phase` on every non-stalled rank, filling the preallocated
+    /// `self.phase_out` slots (every slot's outbox is empty on entry — the
+    /// previous epoch close drained it in place). Stalled ranks contribute
+    /// an empty outbox and zero counters (they perform no work at all this
+    /// phase).
+    fn run_phase(&mut self, phase: usize, stalled: &[bool]) {
         let n = self.ranks.len();
 
         match self.mode {
             ExecMode::Sequential => {
-                let mut outboxes = Vec::with_capacity(n);
-                let mut stats = Vec::with_capacity(n);
-                for (i, (rank, inbox)) in self.ranks.iter_mut().zip(&self.inboxes).enumerate() {
+                let mut busy = 0u64;
+                for (i, ((rank, inbox), slot)) in self
+                    .ranks
+                    .iter_mut()
+                    .zip(&self.inboxes)
+                    .zip(self.phase_out.iter_mut())
+                    .enumerate()
+                {
                     if stalled[i] {
-                        outboxes.push(Vec::new());
-                        stats.push(PhaseTotals::default());
+                        slot.1 = PhaseTotals::default();
                         continue;
                     }
-                    let mut ctx = PhaseCtx::new(i);
-                    rank.phase(phase, inbox, &mut ctx);
-                    outboxes.push(ctx.outbox);
-                    stats.push(ctx.totals);
+                    run_one_rank(rank, phase, inbox, i, slot);
+                    busy += slot.1.wall_ns;
                 }
-                (outboxes, stats)
+                self.stats.worker_busy_ns[0] += busy;
             }
-            ExecMode::Threaded(nthreads) => {
+            ExecMode::Threaded(_) => {
+                let pool = self.pool.as_ref().expect("pool exists in Threaded mode");
+                // Default grain: ~8 batches per worker balances steal
+                // granularity (hot ranks spread) against cursor traffic
+                // (tiny subdomains amortize).
+                let grain = self
+                    .grain
+                    .unwrap_or_else(|| (n / (8 * pool.nworkers())).max(1));
+                let ranks = SyncPtr(self.ranks.as_mut_ptr());
+                let slots = SyncPtr(self.phase_out.as_mut_ptr());
+                let inboxes = &self.inboxes;
+                pool.run(n, grain, &|i| {
+                    // Capture the `SyncPtr` wrappers whole (precise capture
+                    // would otherwise grab the raw-pointer fields, which are
+                    // not `Sync`).
+                    let (ranks, slots) = (&ranks, &slots);
+                    // SAFETY: the pool hands each index to exactly one
+                    // worker, so `ranks[i]` and `slots[i]` are accessed
+                    // exclusively; `inboxes` is only read.
+                    let rank = unsafe { &mut *ranks.0.add(i) };
+                    let slot = unsafe { &mut *slots.0.add(i) };
+                    if stalled[i] {
+                        slot.1 = PhaseTotals::default();
+                        return;
+                    }
+                    run_one_rank(rank, phase, &inboxes[i], i, slot);
+                });
+            }
+            ExecMode::ThreadedSpawn(nthreads) => {
                 let nthreads = nthreads.min(n);
                 let chunk = n.div_ceil(nthreads);
-                let mut results: Vec<Option<(Vec<(usize, Envelope<A::Msg>)>, PhaseTotals)>> =
-                    (0..n).map(|_| None).collect();
                 let ranks = &mut self.ranks;
                 let inboxes = &self.inboxes;
+                let results = &mut self.phase_out;
+                let mut chunk_busy = vec![0u64; nthreads];
                 crossbeam::thread::scope(|scope| {
                     let mut rank_chunks = ranks.chunks_mut(chunk);
                     let mut inbox_chunks = inboxes.chunks(chunk);
                     let mut result_chunks = results.chunks_mut(chunk);
+                    let mut busy_slots = chunk_busy.iter_mut();
                     let mut base = 0usize;
                     for _ in 0..nthreads {
-                        let (Some(rc), Some(ic), Some(out)) = (
+                        let (Some(rc), Some(ic), Some(out), Some(busy)) = (
                             rank_chunks.next(),
                             inbox_chunks.next(),
                             result_chunks.next(),
+                            busy_slots.next(),
                         ) else {
                             break;
                         };
                         let start = base;
                         base += rc.len();
                         scope.spawn(move |_| {
-                            for (k, (rank, inbox)) in rc.iter_mut().zip(ic).enumerate() {
+                            let t0 = Instant::now();
+                            for (k, ((rank, inbox), slot)) in
+                                rc.iter_mut().zip(ic).zip(out.iter_mut()).enumerate()
+                            {
                                 if stalled[start + k] {
-                                    out[k] = Some((Vec::new(), PhaseTotals::default()));
+                                    slot.1 = PhaseTotals::default();
                                     continue;
                                 }
-                                let mut ctx = PhaseCtx::new(start + k);
-                                rank.phase(phase, inbox, &mut ctx);
-                                out[k] = Some((ctx.outbox, ctx.totals));
+                                run_one_rank(rank, phase, inbox, start + k, slot);
                             }
+                            *busy = t0.elapsed().as_nanos() as u64;
                         });
                     }
                 })
                 .expect("superstep worker panicked");
-                let mut outboxes = Vec::with_capacity(n);
-                let mut stats = Vec::with_capacity(n);
-                for r in results {
-                    let (o, s) = r.expect("every rank executed");
-                    outboxes.push(o);
-                    stats.push(s);
+                for (w, b) in chunk_busy.into_iter().enumerate() {
+                    self.stats.worker_busy_ns[w] += b;
                 }
-                (outboxes, stats)
             }
         }
     }
+}
+
+/// Executes one rank's phase into its preallocated result slot, timing the
+/// callback for the load-imbalance observables.
+fn run_one_rank<A: RankAlgorithm>(
+    rank: &mut A,
+    phase: usize,
+    inbox: &[Envelope<A::Msg>],
+    i: usize,
+    slot: &mut PhaseSlot<A::Msg>,
+) {
+    let mut ctx = PhaseCtx::with_outbox(i, std::mem::take(&mut slot.0));
+    let t0 = Instant::now();
+    rank.phase(phase, inbox, &mut ctx);
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    let (outbox, mut totals) = ctx.into_outbox_and_totals();
+    totals.wall_ns = wall_ns;
+    *slot = (outbox, totals);
 }
 
 #[cfg(test)]
@@ -487,6 +637,63 @@ mod tests {
         assert_eq!(va, vb);
         assert_eq!(a.stats.total_msgs(), b.stats.total_msgs());
         assert_eq!(a.stats.msgs_per_rank, b.stats.msgs_per_rank);
+    }
+
+    #[test]
+    fn all_modes_and_grains_agree() {
+        let mut reference = Executor::new(ring(13), CostModel::default(), ExecMode::Sequential);
+        for _ in 0..6 {
+            reference.step();
+        }
+        let vref: Vec<u64> = reference.ranks().iter().map(|r| r.value).collect();
+        for (mode, grain) in [
+            (ExecMode::Threaded(2), None),
+            (ExecMode::Threaded(4), Some(1)),
+            (ExecMode::Threaded(7), Some(3)),
+            (ExecMode::Threaded(32), Some(1000)),
+            (ExecMode::ThreadedSpawn(3), None),
+        ] {
+            let mut ex = Executor::new(ring(13), CostModel::default(), mode);
+            if let Some(g) = grain {
+                ex.set_grain(g);
+            }
+            for _ in 0..6 {
+                ex.step();
+            }
+            let v: Vec<u64> = ex.ranks().iter().map(|r| r.value).collect();
+            assert_eq!(v, vref, "{mode:?} grain {grain:?}");
+            assert_eq!(ex.stats.msgs_per_rank, reference.stats.msgs_per_rank);
+            for (sa, sb) in reference.stats.steps.iter().zip(&ex.stats.steps) {
+                assert_eq!(sa, sb, "{mode:?} grain {grain:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn timing_observables_populate() {
+        for mode in [
+            ExecMode::Sequential,
+            ExecMode::Threaded(2),
+            ExecMode::ThreadedSpawn(2),
+        ] {
+            let mut ex = Executor::new(ring(5), CostModel::default(), mode);
+            let s = ex.step();
+            assert_eq!(s.workers, ex.nworkers() as u32, "{mode:?}");
+            assert!(s.compute_ns > 0, "{mode:?}: per-rank wall time measured");
+            assert!(s.compute_ns_max_rank > 0, "{mode:?}");
+            assert!(s.compute_ns_max_rank <= s.compute_ns, "{mode:?}");
+            assert!(s.span_ns >= s.compute_ns_max_rank, "{mode:?}");
+            assert!(s.imbalance(5) >= 1.0, "{mode:?}");
+            assert!(
+                ex.stats.rank_time_ns.iter().all(|&ns| ns > 0),
+                "{mode:?}: every rank accumulated wall time"
+            );
+            assert!(
+                ex.stats.worker_busy_ns.iter().sum::<u64>() > 0,
+                "{mode:?}: workers accumulated busy time"
+            );
+            assert!(ex.stats.worker_utilization() > 0.0, "{mode:?}");
+        }
     }
 
     #[test]

@@ -32,6 +32,7 @@
 pub mod async_exec;
 pub mod executor;
 pub mod fault;
+pub(crate) mod pool;
 pub mod stats;
 pub mod trace;
 

@@ -1,0 +1,245 @@
+//! A persistent work-stealing worker pool for the superstep executor.
+//!
+//! The original `ExecMode::Threaded` scheduler spawned a fresh
+//! `crossbeam::thread::scope` for every phase of every parallel step and
+//! statically chunked ranks contiguously. That has two costs the paper's
+//! workload makes visible: thread spawn/join overhead dominates small
+//! steps (Distributed Southwell runs two short phases per step, most of
+//! which relax only a handful of "winning" ranks), and contiguous chunking
+//! clusters the hot ranks of an imbalanced step onto one thread.
+//!
+//! This pool fixes both. Workers are created **once per executor** and
+//! parked on a condvar between dispatches. A dispatch publishes a
+//! type-erased task closure plus a task count; workers self-schedule
+//! batches of `grain` consecutive task indices from a shared atomic cursor
+//! (chunked self-scheduling — the lock-free equivalent of a work-stealing
+//! deque for an indexed task list: whichever worker finishes early steals
+//! the next batch). Hot ranks therefore spread across workers no matter
+//! where they sit in rank order, and a tiny grain amortizes the cursor
+//! traffic when subdomains are small.
+//!
+//! Determinism is unaffected by construction: a task index is claimed by
+//! exactly one worker (`fetch_add`), every task writes only to its own
+//! preallocated result slot, and the dispatch does not return until every
+//! worker has quiesced — scheduling order can change *when* a rank runs,
+//! never *what* it computes or where the result lands.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Type-erased pointer to the dispatch closure. The pointee is guaranteed
+/// by [`WorkerPool::run`] to outlive the dispatch (the call blocks until
+/// all workers have finished with it).
+struct TaskPtr(*const (dyn Fn(usize) + Sync));
+// SAFETY: the pointee is Sync and `run` fences its lifetime.
+unsafe impl Send for TaskPtr {}
+
+/// Dispatch state guarded by the pool mutex.
+struct Dispatch {
+    /// Monotone dispatch counter; a worker runs one dispatch per increment.
+    generation: u64,
+    /// The current task closure (`None` between dispatches).
+    task: Option<TaskPtr>,
+    /// Number of task indices in the current dispatch.
+    ntasks: usize,
+    /// Batch size workers claim from the cursor.
+    grain: usize,
+    /// Workers that have finished the current dispatch.
+    done: usize,
+    /// Pool is shutting down (drop).
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<Dispatch>,
+    /// Workers wait here for a new generation.
+    work_cv: Condvar,
+    /// The dispatcher waits here for `done == nworkers`.
+    done_cv: Condvar,
+    /// Next unclaimed task index of the current dispatch.
+    cursor: AtomicUsize,
+    /// Cumulative busy wall-time per worker, nanoseconds.
+    busy_ns: Vec<AtomicU64>,
+}
+
+/// Persistent worker pool. Created once, reused for every phase dispatch,
+/// joined on drop.
+pub(crate) struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `nworkers` parked worker threads (`nworkers >= 1`).
+    pub(crate) fn new(nworkers: usize) -> Self {
+        assert!(nworkers >= 1, "a pool needs at least one worker");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(Dispatch {
+                generation: 0,
+                task: None,
+                ntasks: 0,
+                grain: 1,
+                done: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            cursor: AtomicUsize::new(0),
+            busy_ns: (0..nworkers).map(|_| AtomicU64::new(0)).collect(),
+        });
+        let handles = (0..nworkers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("dsw-rma-worker-{w}"))
+                    .spawn(move || worker_loop(&shared, w))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool { shared, handles }
+    }
+
+    /// Number of workers.
+    pub(crate) fn nworkers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Cumulative busy wall-time of worker `w` in nanoseconds.
+    pub(crate) fn busy_ns(&self, w: usize) -> u64 {
+        self.shared.busy_ns[w].load(Ordering::Relaxed)
+    }
+
+    /// Runs `task(i)` for every `i in 0..ntasks` across the pool, claiming
+    /// batches of `grain` indices at a time. Blocks until all indices have
+    /// been executed and every worker has quiesced.
+    pub(crate) fn run(&self, ntasks: usize, grain: usize, task: &(dyn Fn(usize) + Sync)) {
+        if ntasks == 0 {
+            return;
+        }
+        let shared = &*self.shared;
+        {
+            let mut st = shared.state.lock().unwrap();
+            shared.cursor.store(0, Ordering::Relaxed);
+            // SAFETY: we erase the lifetime, then block below until every
+            // worker reports done, which happens-after its last use of the
+            // pointer (the `done` increment is made under the same mutex).
+            let ptr: *const (dyn Fn(usize) + Sync) = task;
+            st.task = Some(TaskPtr(unsafe {
+                std::mem::transmute::<
+                    *const (dyn Fn(usize) + Sync),
+                    *const (dyn Fn(usize) + Sync + 'static),
+                >(ptr)
+            }));
+            st.ntasks = ntasks;
+            st.grain = grain.max(1);
+            st.done = 0;
+            st.generation += 1;
+            shared.work_cv.notify_all();
+        }
+        let mut st = shared.state.lock().unwrap();
+        while st.done < self.handles.len() {
+            st = shared.done_cv.wait(st).unwrap();
+        }
+        st.task = None;
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, w: usize) {
+    let mut seen = 0u64;
+    loop {
+        let (task, ntasks, grain) = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.generation != seen {
+                    seen = st.generation;
+                    let TaskPtr(ptr) = *st.task.as_ref().expect("dispatch has a task");
+                    break (ptr, st.ntasks, st.grain);
+                }
+                st = shared.work_cv.wait(st).unwrap();
+            }
+        };
+        let t0 = Instant::now();
+        // SAFETY: `run` keeps the closure alive until we report done below.
+        let task = unsafe { &*task };
+        loop {
+            let start = shared.cursor.fetch_add(grain, Ordering::Relaxed);
+            if start >= ntasks {
+                break;
+            }
+            for i in start..(start + grain).min(ntasks) {
+                task(i);
+            }
+        }
+        shared.busy_ns[w].fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        let mut st = shared.state.lock().unwrap();
+        st.done += 1;
+        if st.done == shared.busy_ns.len() {
+            shared.done_cv.notify_one();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let pool = WorkerPool::new(4);
+        for grain in [1usize, 3, 16, 1000] {
+            let hits: Vec<AtomicU32> = (0..257).map(|_| AtomicU32::new(0)).collect();
+            pool.run(hits.len(), grain, &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "grain {grain}"
+            );
+        }
+    }
+
+    #[test]
+    fn pool_is_reusable_across_many_dispatches() {
+        let pool = WorkerPool::new(2);
+        let sum = AtomicU64::new(0);
+        for _ in 0..100 {
+            pool.run(10, 2, &|i| {
+                sum.fetch_add(i as u64, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(sum.load(Ordering::Relaxed), 45 * 100);
+    }
+
+    #[test]
+    fn zero_tasks_is_a_noop() {
+        let pool = WorkerPool::new(3);
+        pool.run(0, 1, &|_| panic!("no task should run"));
+    }
+
+    #[test]
+    fn busy_time_accumulates() {
+        let pool = WorkerPool::new(1);
+        pool.run(64, 4, &|_| {
+            std::hint::black_box((0..100).sum::<u64>());
+        });
+        assert!(pool.busy_ns(0) > 0);
+    }
+}

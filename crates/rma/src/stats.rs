@@ -142,7 +142,18 @@ impl Default for CostModel {
 }
 
 /// Per-parallel-step statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+///
+/// Two kinds of fields live here. The *deterministic counters* (messages,
+/// bytes, flops, relaxations, modelled time, fault outcomes) are
+/// bit-identical across [`crate::ExecMode`]s and scheduling orders — the
+/// substrate's core guarantee. The *measured timing* fields
+/// (`compute_ns`, `compute_ns_max_rank`, `span_ns`, `workers`) record real
+/// wall-clock behaviour of the host and naturally vary run to run; they
+/// exist to make the load imbalance the paper implies (most ranks idle,
+/// few relax) measurable. `PartialEq` compares **only the deterministic
+/// counters**, so cross-mode equality assertions express exactly the
+/// determinism contract.
+#[derive(Debug, Clone, Copy, Default)]
 pub struct StepStats {
     /// Messages sent by all ranks this step.
     pub msgs: u64,
@@ -164,6 +175,51 @@ pub struct StepStats {
     pub time: f64,
     /// Fault-injection outcomes of this step (all zero without chaos).
     pub faults: FaultStats,
+    /// Measured: wall-clock nanoseconds spent inside rank phase callbacks
+    /// this step, summed over ranks (the step's total compute volume).
+    pub compute_ns: u64,
+    /// Measured: the largest per-rank share of [`StepStats::compute_ns`] —
+    /// the critical-path rank. `compute_ns_max_rank / (compute_ns / P)` is
+    /// the step's load-imbalance factor (see [`StepStats::imbalance`]).
+    pub compute_ns_max_rank: u64,
+    /// Measured: wall-clock nanoseconds of the step's compute dispatch
+    /// windows (all phases, as seen by the executor's driving thread).
+    pub span_ns: u64,
+    /// Workers that executed rank phases this step (1 = sequential).
+    pub workers: u32,
+}
+
+impl PartialEq for StepStats {
+    /// Deterministic counters only — measured timing is machine- and
+    /// schedule-dependent by nature and deliberately excluded, so that
+    /// `Sequential` vs `Threaded` equality assertions check the substrate's
+    /// bit-determinism contract.
+    fn eq(&self, other: &Self) -> bool {
+        self.msgs == other.msgs
+            && self.msgs_solve == other.msgs_solve
+            && self.msgs_residual == other.msgs_residual
+            && self.msgs_recovery == other.msgs_recovery
+            && self.bytes == other.bytes
+            && self.flops == other.flops
+            && self.active_ranks == other.active_ranks
+            && self.relaxations == other.relaxations
+            && self.time == other.time
+            && self.faults == other.faults
+    }
+}
+
+impl StepStats {
+    /// The step's measured load-imbalance factor: the critical-path rank's
+    /// compute time over the per-rank mean (`max / mean` across `nranks`
+    /// ranks). `1.0` is perfect balance; Distributed Southwell's "few ranks
+    /// relax, most idle" regime pushes this toward `nranks`. Returns `1.0`
+    /// when nothing was measured.
+    pub fn imbalance(&self, nranks: usize) -> f64 {
+        if self.compute_ns == 0 || nranks == 0 {
+            return 1.0;
+        }
+        self.compute_ns_max_rank as f64 * nranks as f64 / self.compute_ns as f64
+    }
 }
 
 /// Accumulated statistics for a run.
@@ -173,6 +229,13 @@ pub struct RunStats {
     pub steps: Vec<StepStats>,
     /// Messages sent per rank over the whole run.
     pub msgs_per_rank: Vec<u64>,
+    /// Measured wall-clock nanoseconds each rank spent in its phase
+    /// callbacks over the whole run (the per-rank compute profile — the
+    /// direct observable of the paper's load imbalance).
+    pub rank_time_ns: Vec<u64>,
+    /// Measured busy wall-clock nanoseconds per worker over the whole run
+    /// (one entry per pool worker; a single entry for sequential runs).
+    pub worker_busy_ns: Vec<u64>,
 }
 
 impl RunStats {
@@ -181,6 +244,8 @@ impl RunStats {
         RunStats {
             steps: Vec::new(),
             msgs_per_rank: vec![0; nranks],
+            rank_time_ns: vec![0; nranks],
+            worker_busy_ns: Vec::new(),
         }
     }
 
@@ -253,6 +318,48 @@ impl RunStats {
         self.steps.iter().map(|s| s.relaxations).sum()
     }
 
+    /// Total measured compute nanoseconds (sum over ranks and steps).
+    pub fn total_compute_ns(&self) -> u64 {
+        self.steps.iter().map(|s| s.compute_ns).sum()
+    }
+
+    /// Total measured dispatch-window nanoseconds over the run.
+    pub fn total_span_ns(&self) -> u64 {
+        self.steps.iter().map(|s| s.span_ns).sum()
+    }
+
+    /// Mean per-step load-imbalance factor (`max / mean` of per-rank
+    /// compute time), over the steps that measured any compute. `1.0` when
+    /// nothing was measured.
+    pub fn mean_imbalance(&self) -> f64 {
+        let nranks = self.msgs_per_rank.len();
+        let measured: Vec<f64> = self
+            .steps
+            .iter()
+            .filter(|s| s.compute_ns > 0)
+            .map(|s| s.imbalance(nranks))
+            .collect();
+        if measured.is_empty() {
+            return 1.0;
+        }
+        measured.iter().sum::<f64>() / measured.len() as f64
+    }
+
+    /// Mean worker utilization: total busy time across workers over the
+    /// total dispatch-window time they were collectively available
+    /// (`span × workers`). `1.0` means every worker computed for the whole
+    /// span; low values quantify how much of the pool the "few ranks
+    /// relax" regime leaves idle. Returns `0.0` when nothing was measured.
+    pub fn worker_utilization(&self) -> f64 {
+        let span = self.total_span_ns();
+        let nworkers = self.worker_busy_ns.len();
+        if span == 0 || nworkers == 0 {
+            return 0.0;
+        }
+        let busy: u64 = self.worker_busy_ns.iter().sum();
+        (busy as f64 / (span as f64 * nworkers as f64)).min(1.0)
+    }
+
     /// Mean fraction of ranks active per step (the paper's
     /// "active processes").
     pub fn mean_active_fraction(&self) -> f64 {
@@ -314,6 +421,7 @@ mod tests {
                 },
                 stalled_ranks: 2,
             },
+            ..StepStats::default()
         });
         assert_eq!(rs.nsteps(), 2);
         assert_eq!(rs.total_msgs(), 12);
@@ -342,5 +450,60 @@ mod tests {
         assert_eq!(rs.total_msgs(), 0);
         assert_eq!(rs.mean_active_fraction(), 0.0);
         assert_eq!(rs.total_time(), 0.0);
+        assert_eq!(rs.mean_imbalance(), 1.0);
+        assert_eq!(rs.worker_utilization(), 0.0);
+        assert_eq!(rs.rank_time_ns, vec![0, 0]);
+    }
+
+    #[test]
+    fn measured_timing_excluded_from_step_equality() {
+        let a = StepStats {
+            msgs: 5,
+            compute_ns: 1000,
+            compute_ns_max_rank: 900,
+            span_ns: 1200,
+            workers: 4,
+            ..StepStats::default()
+        };
+        let b = StepStats {
+            msgs: 5,
+            compute_ns: 77,
+            compute_ns_max_rank: 77,
+            span_ns: 99,
+            workers: 1,
+            ..StepStats::default()
+        };
+        // Same deterministic counters, different measured timing: equal.
+        assert_eq!(a, b);
+        let c = StepStats { msgs: 6, ..a };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn imbalance_and_utilization_aggregate() {
+        let mut rs = RunStats::new(4);
+        // A perfectly balanced step: 4 ranks × 100 ns.
+        rs.steps.push(StepStats {
+            compute_ns: 400,
+            compute_ns_max_rank: 100,
+            span_ns: 200,
+            workers: 2,
+            ..StepStats::default()
+        });
+        // A fully serial step: one rank did all 400 ns.
+        rs.steps.push(StepStats {
+            compute_ns: 400,
+            compute_ns_max_rank: 400,
+            span_ns: 600,
+            workers: 2,
+            ..StepStats::default()
+        });
+        assert!((rs.steps[0].imbalance(4) - 1.0).abs() < 1e-12);
+        assert!((rs.steps[1].imbalance(4) - 4.0).abs() < 1e-12);
+        assert!((rs.mean_imbalance() - 2.5).abs() < 1e-12);
+        assert_eq!(rs.total_compute_ns(), 800);
+        assert_eq!(rs.total_span_ns(), 800);
+        rs.worker_busy_ns = vec![500, 300];
+        assert!((rs.worker_utilization() - 0.5).abs() < 1e-12);
     }
 }

@@ -63,9 +63,18 @@ impl Trace {
     }
 
     /// The dense `P × P` message-count matrix (`[src][dst]`) over the
-    /// recorded events.
+    /// recorded events. `P` is `nranks` widened to cover every rank that
+    /// actually appears in the log, so a caller passing a stale or
+    /// too-small rank count gets a larger matrix instead of a panic.
     pub fn traffic_matrix(&self, nranks: usize) -> Vec<Vec<u64>> {
-        let mut m = vec![vec![0u64; nranks]; nranks];
+        let p = self
+            .events
+            .iter()
+            .map(|ev| ev.src.max(ev.dst) + 1)
+            .max()
+            .unwrap_or(0)
+            .max(nranks);
+        let mut m = vec![vec![0u64; p]; p];
         for ev in &self.events {
             m[ev.src][ev.dst] += 1;
         }
@@ -125,6 +134,24 @@ mod tests {
         assert_eq!(m[1][2], 1);
         assert_eq!(m[2][0], 0);
         assert_eq!(t.count_class(CommClass::Residual), 1);
+    }
+
+    #[test]
+    fn traffic_matrix_widens_for_out_of_range_ranks() {
+        // Regression: an event whose src/dst >= nranks used to panic with
+        // an out-of-bounds index; the matrix must widen instead.
+        let mut t = Trace::new(100);
+        t.record(ev(0, 0, 1, CommClass::Solve));
+        t.record(ev(0, 5, 2, CommClass::Solve));
+        t.record(ev(0, 2, 7, CommClass::Residual));
+        let m = t.traffic_matrix(3);
+        assert_eq!(m.len(), 8, "widened to max rank seen + 1");
+        assert!(m.iter().all(|row| row.len() == 8));
+        assert_eq!(m[0][1], 1);
+        assert_eq!(m[5][2], 1);
+        assert_eq!(m[2][7], 1);
+        // An empty trace still honors the requested size.
+        assert_eq!(Trace::new(4).traffic_matrix(3).len(), 3);
     }
 
     #[test]
