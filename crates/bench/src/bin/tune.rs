@@ -45,14 +45,44 @@ fn probe(label: &str, a: CsrMatrix, seed: u64) {
 }
 
 fn main() {
-    // Hook_1498 candidates: 37^3, seed 105, Geo-timing setup seed.
+    // Geo_1438 candidates: 38³, seed 104. The shipped (0.22, 0.60) dials
+    // only dip to ~0.10–0.12 before diverging under the post-PR-1 random
+    // streams; scan for a pair that crosses 0.1 first.
+    let gseed = 0xD15C0u64 + 60_169_842;
+    for (bulk, hc) in [
+        (0.22, 0.60),
+        (0.22, 0.58),
+        (0.21, 0.60),
+        (0.22, 0.56),
+        (0.20, 0.60),
+        (0.21, 0.58),
+    ] {
+        probe(
+            &format!("geo bulk={bulk} hc={hc}"),
+            clique_grid3d(
+                38,
+                38,
+                38,
+                CliqueOptions {
+                    coupling: bulk,
+                    weight_jump: 0.2,
+                    hot_fraction: 0.2,
+                    hot_coupling: hc,
+                    seed: 104,
+                },
+            ),
+            gseed,
+        );
+    }
+    // Hook_1498 candidates: 37³, seed 105, same near-miss problem.
     let seed = 0xD15C0u64 + 59_344_451;
     for (bulk, hc) in [
-        (0.25, 0.55),
-        (0.24, 0.55),
-        (0.25, 0.52),
         (0.22, 0.55),
-        (0.23, 0.58),
+        (0.22, 0.53),
+        (0.21, 0.55),
+        (0.22, 0.51),
+        (0.20, 0.55),
+        (0.21, 0.53),
     ] {
         probe(
             &format!("hook bulk={bulk} hc={hc}"),
@@ -71,23 +101,21 @@ fn main() {
             seed,
         );
     }
-    // ldoor candidates.
+    // ldoor check (shipped dial still fine; add candidates here to refit).
     let lseed = 0xD15C0u64 + 42_451_151;
-    for c in [0.88, 0.92, 0.95] {
-        probe(
-            &format!("ldoor c={c}"),
-            clique_grid2d(
-                210,
-                160,
-                CliqueOptions {
-                    coupling: c,
-                    weight_jump: 0.2,
-                    hot_fraction: 0.0,
-                    hot_coupling: 0.0,
-                    seed: 107,
-                },
-            ),
-            lseed,
-        );
-    }
+    probe(
+        "ldoor c=0.92",
+        clique_grid2d(
+            210,
+            160,
+            CliqueOptions {
+                coupling: 0.92,
+                weight_jump: 0.2,
+                hot_fraction: 0.0,
+                hot_coupling: 0.0,
+                seed: 107,
+            },
+        ),
+        lseed,
+    );
 }

@@ -5,13 +5,28 @@ use super::local_solver::{LocalSolver, LocalSolverImpl};
 use super::msg::DistMsg;
 use dsw_rma::{CommClass, Envelope, PhaseCtx, RankAlgorithm};
 
-/// One rank of the Block Jacobi iteration: every parallel step, apply the
-/// neighbor updates that arrived, relax the local subdomain with one
-/// Gauss–Seidel sweep (the paper's "Hybrid Gauss–Seidel"), and put the
-/// induced residual deltas into every neighbor's window.
+/// One rank of the Block Jacobi iteration: every parallel step, relax the
+/// local subdomain with one Gauss–Seidel sweep (the paper's "Hybrid
+/// Gauss–Seidel"), put the induced residual deltas into every neighbor's
+/// window, and apply the neighbor updates in a second epoch of the same
+/// step.
+///
+/// The two-phase layout (relax+send, then apply) is mathematically
+/// identical to the classic one-phase form (apply previous step's deltas,
+/// then relax): nothing touches the residual between the end of one step
+/// and the next sweep, so the sweep sees the same state either way — the
+/// same floating-point operations in the same order, bit for bit. What the
+/// second epoch buys is an invariant the one-phase form lacks: at every
+/// parallel-step boundary all deltas are applied and the locally
+/// maintained residual `r` equals `b − Ax` exactly, so the driver can
+/// monitor global convergence from the per-rank maintained norms
+/// ([`RankAlgorithm::maintained_norm_sq`]) instead of a gather + SpMV.
 pub struct BlockJacobiRank {
     /// The local piece of the system (exposed for the driver's gather).
     pub ls: LocalSystem,
+    /// ‖r_p‖² as of the last step boundary (monitoring cache; Block Jacobi
+    /// itself never consults norms).
+    norm_sq: f64,
     solver: LocalSolverImpl,
     ghost_dr: Vec<f64>,
 }
@@ -32,11 +47,24 @@ impl BlockJacobiRank {
                 let g = ls.ext_cols.len();
                 BlockJacobiRank {
                     solver: LocalSolverImpl::new(solver, &ls),
+                    norm_sq: ls.residual_norm_sq(),
                     ls,
                     ghost_dr: vec![0.0; g],
                 }
             })
             .collect()
+    }
+
+    /// Applies incoming neighbor deltas to the maintained residual.
+    fn apply_inbox(&mut self, inbox: &[Envelope<DistMsg>]) {
+        for env in inbox {
+            let s = self.ls.neighbor_slot(env.src);
+            if let DistMsg::Solve { dr, .. } = &env.payload {
+                for (&li, &d) in self.ls.boundary_rows_to[s].iter().zip(dr) {
+                    self.ls.r[li as usize] += d;
+                }
+            }
+        }
     }
 }
 
@@ -46,39 +74,51 @@ impl RankAlgorithm for BlockJacobiRank {
     type Msg = DistMsg;
 
     fn phases(&self) -> usize {
-        1
+        2
     }
 
-    fn phase(&mut self, _phase: usize, inbox: &[Envelope<DistMsg>], ctx: &mut PhaseCtx<DistMsg>) {
-        // Read the window: neighbor deltas from the previous step.
-        for env in inbox {
-            let s = self.ls.neighbor_slot(env.src);
-            if let DistMsg::Solve { dr, .. } = &env.payload {
-                for (&li, &d) in self.ls.boundary_rows_to[s].iter().zip(dr) {
-                    self.ls.r[li as usize] += d;
+    fn phase(&mut self, phase: usize, inbox: &[Envelope<DistMsg>], ctx: &mut PhaseCtx<DistMsg>) {
+        match phase {
+            0 => {
+                // Empty on a reliable link (all deltas were applied in the
+                // previous step's phase 1); chaos-delayed messages can
+                // still land here and must not be lost.
+                self.apply_inbox(inbox);
+                // Relax the local subdomain.
+                self.ghost_dr.iter_mut().for_each(|v| *v = 0.0);
+                let flops = self.solver.relax(&mut self.ls, &mut self.ghost_dr);
+                ctx.add_flops(flops);
+                ctx.record_relaxations(self.ls.nrows() as u64);
+                // Write updates to every neighbor's window.
+                for s in 0..self.ls.nneighbors() {
+                    let dr: Vec<f64> = self.ls.ghosts_of[s]
+                        .iter()
+                        .map(|&slot| self.ghost_dr[slot as usize])
+                        .collect();
+                    let msg = DistMsg::Solve {
+                        dr,
+                        boundary_r: Vec::new(),
+                        norm_sq: 0.0,
+                        est_of_target_sq: 0.0,
+                    };
+                    let bytes = msg.wire_bytes();
+                    ctx.put(self.ls.neighbors[s], CommClass::Solve, msg, bytes);
                 }
             }
+            1 => {
+                // Apply this step's deltas, restoring `r = b − Ax` at the
+                // boundary, and refresh the monitoring cache. The norm is
+                // not charged to the cost model: Block Jacobi's iteration
+                // never consults it, it exists purely for the monitor.
+                self.apply_inbox(inbox);
+                self.norm_sq = self.ls.residual_norm_sq();
+            }
+            _ => unreachable!("Block Jacobi has two phases"),
         }
-        // Relax the local subdomain.
-        self.ghost_dr.iter_mut().for_each(|v| *v = 0.0);
-        let flops = self.solver.relax(&mut self.ls, &mut self.ghost_dr);
-        ctx.add_flops(flops);
-        ctx.record_relaxations(self.ls.nrows() as u64);
-        // Write updates to every neighbor's window.
-        for s in 0..self.ls.nneighbors() {
-            let dr: Vec<f64> = self.ls.ghosts_of[s]
-                .iter()
-                .map(|&slot| self.ghost_dr[slot as usize])
-                .collect();
-            let msg = DistMsg::Solve {
-                dr,
-                boundary_r: Vec::new(),
-                norm_sq: 0.0,
-                est_of_target_sq: 0.0,
-            };
-            let bytes = msg.wire_bytes();
-            ctx.put(self.ls.neighbors[s], CommClass::Solve, msg, bytes);
-        }
+    }
+
+    fn maintained_norm_sq(&self) -> Option<f64> {
+        Some(self.norm_sq)
     }
 }
 

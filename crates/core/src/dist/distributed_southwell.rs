@@ -106,6 +106,12 @@ pub struct DistributedSouthwellRank {
     /// Residual deltas not yet delivered under the variable-threshold
     /// extension (always zero when `solve_msg_threshold == 0`).
     pending_dr: Vec<f64>,
+    /// Σ dr² of solve messages flushed in the current step's phase 1 —
+    /// still in flight at the step boundary (delivered at the receivers'
+    /// next phase 0). Feeds [`RankAlgorithm::undelivered_delta_sq`].
+    in_flight_flush_sq: f64,
+    /// Cached Σ (parked + in-flight) delta² at the last step boundary.
+    undelivered_sq: f64,
     // --- self-healing layer (see `super::recovery`) -------------------
     /// Next outgoing sequence number per neighbor link (sequencing).
     seq_out: Vec<u64>,
@@ -177,6 +183,8 @@ impl DistributedSouthwellRank {
                     cfg,
                     ghost_dr: vec![0.0; g],
                     pending_dr: vec![0.0; g],
+                    in_flight_flush_sq: 0.0,
+                    undelivered_sq: 0.0,
                     seq_out: vec![0; nb],
                     seq_in: vec![SeqIn::new(); nb],
                     last_audit_seq: vec![0; nb],
@@ -379,6 +387,9 @@ impl RankAlgorithm for DistributedSouthwellRank {
     fn phase(&mut self, phase: usize, inbox: &[Envelope<SeqMsg>], ctx: &mut PhaseCtx<SeqMsg>) {
         match phase {
             0 => {
+                // The previous step's phase-1 flushes are delivered during
+                // this epoch; they are no longer in flight.
+                self.in_flight_flush_sq = 0.0;
                 // Read the deadlock-avoidance updates of the previous step.
                 self.apply_inbox(inbox, ctx);
                 self.sent_prev_phase.iter_mut().for_each(|f| *f = false);
@@ -479,6 +490,9 @@ impl RankAlgorithm for DistributedSouthwellRank {
                                 v
                             })
                             .collect();
+                        // A phase-1 flush crosses the step boundary in
+                        // flight (applied at the receiver's next phase 0).
+                        self.in_flight_flush_sq += dr.iter().map(|v| v * v).sum::<f64>();
                         let body = DistMsg::Solve {
                             dr,
                             boundary_r: self.ls.boundary_residuals(s),
@@ -537,9 +551,29 @@ impl RankAlgorithm for DistributedSouthwellRank {
                     }
                 }
                 self.steps_done += 1;
+                // Refresh the undelivered-delta cache for the monitor: the
+                // coalescing extension is the only source of residual
+                // deltas that outlive the step boundary.
+                self.undelivered_sq = if self.cfg.solve_msg_threshold > 0.0 {
+                    self.pending_dr.iter().map(|p| p * p).sum::<f64>() + self.in_flight_flush_sq
+                } else {
+                    0.0
+                };
             }
             _ => unreachable!("Distributed Southwell has two phases"),
         }
+    }
+
+    /// DS keeps `my_norm_sq` exact at step boundaries on a reliable link
+    /// with coalescing off; with coalescing on, parked and in-flight
+    /// deltas are reported through
+    /// [`RankAlgorithm::undelivered_delta_sq`].
+    fn maintained_norm_sq(&self) -> Option<f64> {
+        Some(self.my_norm_sq)
+    }
+
+    fn undelivered_delta_sq(&self) -> f64 {
+        self.undelivered_sq
     }
 }
 

@@ -50,6 +50,10 @@ pub struct LocalSystem {
     /// Per neighbor slot: local rows adjacent to that neighbor
     /// (in increasing global order — the agreed message ordering).
     pub boundary_rows_to: Vec<Vec<u32>>,
+    /// Reciprocal of the diagonal of `a_int`, one entry per owned row
+    /// (validated nonzero and finite at [`distribute`] time so the sweeps
+    /// never binary-search the diagonal or divide by zero mid-iteration).
+    pub inv_diag: Vec<f64>,
     /// Local right-hand side.
     pub b: Vec<f64>,
     /// Local solution piece.
@@ -92,9 +96,7 @@ impl LocalSystem {
         let m = self.nrows();
         let mut flops = 0u64;
         for i in 0..m {
-            let aii = self.a_int.get(i, i);
-            debug_assert!(aii != 0.0, "zero diagonal in local block");
-            let delta = self.r[i] / aii;
+            let delta = self.r[i] * self.inv_diag[i];
             self.x[i] += delta;
             // In-block residual updates through the symmetric local row.
             for (j, aij) in self.a_int.row(i) {
@@ -120,9 +122,7 @@ impl LocalSystem {
         let mut flops = 0u64;
         for &iu in order {
             let i = iu as usize;
-            let aii = self.a_int.get(i, i);
-            debug_assert!(aii != 0.0, "zero diagonal in local block");
-            let delta = self.r[i] / aii;
+            let delta = self.r[i] * self.inv_diag[i];
             self.x[i] += delta;
             for (j, aij) in self.a_int.row(i) {
                 self.r[j] -= aij * delta;
@@ -252,6 +252,19 @@ pub fn distribute(
         // lists are already in the agreed (global) ordering.
         let a_int = bld.build()?;
 
+        // Cache the reciprocal diagonal for the sweeps; a zero or missing
+        // diagonal must fail here, at setup, not divide by zero mid-sweep.
+        let mut inv_diag = Vec::with_capacity(rows.len());
+        for (li, &g) in rows.iter().enumerate() {
+            let aii = a_int.get(li, li);
+            if aii == 0.0 || !aii.is_finite() {
+                return Err(SparseError::Numeric(format!(
+                    "distribute: row {g} has a zero or non-finite diagonal ({aii})"
+                )));
+            }
+            inv_diag.push(1.0 / aii);
+        }
+
         out.push(LocalSystem {
             rank: p,
             rows: rows.clone(),
@@ -263,6 +276,7 @@ pub fn distribute(
             neighbors,
             ghosts_of,
             boundary_rows_to: boundary_sets,
+            inv_diag,
             b: rows.iter().map(|&g| b[g]).collect(),
             x: rows.iter().map(|&g| x0[g]).collect(),
             r: rows.iter().map(|&g| r_global[g]).collect(),
@@ -407,6 +421,49 @@ mod tests {
         assert!(locals[0].neighbors.is_empty());
         assert!(locals[0].ext_cols.is_empty());
         assert_eq!(locals[0].a_int.nnz(), a.nnz());
+    }
+
+    #[test]
+    fn inv_diag_matches_local_blocks() {
+        let (_, _, _, locals) = setup(7, 6, 4);
+        for ls in &locals {
+            assert_eq!(ls.inv_diag.len(), ls.nrows());
+            for i in 0..ls.nrows() {
+                let aii = ls.a_int.get(i, i);
+                assert!((ls.inv_diag[i] - 1.0 / aii).abs() <= f64::EPSILON * ls.inv_diag[i].abs());
+            }
+        }
+    }
+
+    #[test]
+    fn zero_or_missing_diagonal_is_rejected_at_distribute_time() {
+        // A 3×3 matrix whose middle row has no diagonal entry at all; the
+        // old code would have hit it as a divide-by-zero mid-sweep.
+        let mut bld = dsw_sparse::CooBuilder::new(3, 3);
+        bld.push(0, 0, 2.0);
+        bld.push(0, 1, -1.0);
+        bld.push(1, 0, -1.0);
+        bld.push(1, 2, -1.0);
+        bld.push(2, 1, -1.0);
+        bld.push(2, 2, 2.0);
+        let a = bld.build().unwrap();
+        let part = partition_strip(3, 1);
+        let err = distribute(&a, &[0.0; 3], &[0.0; 3], &part).unwrap_err();
+        assert!(
+            matches!(err, SparseError::Numeric(_)),
+            "expected a numeric setup error, got {err:?}"
+        );
+
+        // An explicit zero diagonal is rejected the same way.
+        let mut bld = dsw_sparse::CooBuilder::new(2, 2);
+        bld.push(0, 0, 1.0);
+        bld.push(1, 1, 0.0);
+        let a = bld.build().unwrap();
+        let part = partition_strip(2, 2);
+        assert!(matches!(
+            distribute(&a, &[0.0; 2], &[0.0; 2], &part),
+            Err(SparseError::Numeric(_))
+        ));
     }
 
     #[test]

@@ -26,7 +26,10 @@ pub mod seq;
 
 pub use block_jacobi::BlockJacobiRank;
 pub use distributed_southwell::{DistributedSouthwellRank, DsConfig};
-pub use driver::{drive, run_method, DistOptions, DistReport, Method, StepRecord};
+pub use driver::{
+    drive, run_method, DistOptions, DistReport, MaintainedNorm, Method, Monitor, MonitorMode,
+    StepRecord,
+};
 pub use layout::{distribute, gather_r, gather_x, LocalSystem};
 pub use local_solver::{LocalSolver, LocalSolverImpl};
 pub use msg::{DistMsg, SeqMsg};

@@ -196,6 +196,13 @@ impl RankAlgorithm for ParallelSouthwellRank {
             _ => unreachable!("Parallel Southwell has two phases"),
         }
     }
+
+    /// PS keeps `my_norm_sq` exact at step boundaries on a reliable link:
+    /// solve deltas sent in phase 0 are applied in phase 1 of the same
+    /// step, and explicit updates carry no residual data.
+    fn maintained_norm_sq(&self) -> Option<f64> {
+        Some(self.my_norm_sq)
+    }
 }
 
 #[cfg(test)]

@@ -128,6 +128,29 @@ pub trait RankAlgorithm: Send {
     /// Executes one phase. `inbox` holds the envelopes delivered at the
     /// close of the previous epoch, ordered by origin rank.
     fn phase(&mut self, phase: usize, inbox: &[Envelope<Self::Msg>], ctx: &mut PhaseCtx<Self::Msg>);
+
+    /// The squared 2-norm of this rank's locally maintained residual, kept
+    /// current at parallel-step boundaries, if the algorithm maintains one.
+    ///
+    /// Returning `Some` lets a driver monitor global convergence as an
+    /// `O(P)` sum of per-rank scalars instead of gathering the solution and
+    /// recomputing `‖b − Ax‖₂` every step. `None` (the default) declares
+    /// that the algorithm has no maintained norm and the driver must fall
+    /// back to exact recomputation.
+    fn maintained_norm_sq(&self) -> Option<f64> {
+        None
+    }
+
+    /// The squared 2-norm of residual deltas this rank has produced but
+    /// whose delivery is still outstanding at the step boundary (parked by
+    /// message coalescing, or sent in the step's final epoch and not yet
+    /// applied by the receiver). By the triangle inequality the true global
+    /// norm lies within `√Σ undelivered` of the maintained one, so a
+    /// monitor widens its convergence trigger by this slack. `0.0` when
+    /// every delta is applied at the boundary (the default).
+    fn undelivered_delta_sq(&self) -> f64 {
+        0.0
+    }
 }
 
 /// How the executor schedules rank phases.

@@ -39,5 +39,5 @@ pub mod trace;
 pub use async_exec::{AsyncExecutor, AsyncOptions};
 pub use executor::{Envelope, ExecMode, Executor, PhaseCtx, RankAlgorithm};
 pub use fault::{ChaosConfig, Fate, FaultInjector};
-pub use stats::{ClassCounts, CommClass, CostModel, FaultStats, RunStats, StepStats};
+pub use stats::{ClassCounts, CommClass, CostModel, FaultStats, MonitorStats, RunStats, StepStats};
 pub use trace::{Trace, TraceEvent};

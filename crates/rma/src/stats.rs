@@ -222,11 +222,50 @@ impl StepStats {
     }
 }
 
+/// Cost and drift observables of a run's out-of-band convergence monitor.
+///
+/// The monitor is a *driver* concern — it performs no solver communication
+/// — but its cost is exactly what incremental monitoring exists to remove,
+/// so the substrate records it alongside the run statistics. `evals` counts
+/// the `O(P)` maintained-norm reductions, `verifications` the full
+/// `‖b − Ax‖₂` recomputations (gather + SpMV). The `*_ns` fields are
+/// measured wall-clock (machine-dependent, like the executor's timing
+/// observables); `max_rel_drift` is the largest observed relative gap
+/// between a maintained norm and the exact norm verified at the same step
+/// boundary — the monitor's accuracy certificate.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MonitorStats {
+    /// `O(P)` maintained-norm evaluations performed.
+    pub evals: u64,
+    /// Exact `‖b − Ax‖₂` recomputations performed (gather + SpMV).
+    pub verifications: u64,
+    /// Measured wall-clock nanoseconds spent in maintained evaluations.
+    pub eval_ns: u64,
+    /// Measured wall-clock nanoseconds spent in exact recomputations.
+    pub verify_ns: u64,
+    /// Largest observed `|exact − maintained| / max(exact, 1)` at a step
+    /// boundary where both were computed. `0.0` with exact monitoring.
+    pub max_rel_drift: f64,
+}
+
+impl MonitorStats {
+    /// Records one exact-vs-maintained comparison.
+    pub fn record_drift(&mut self, exact: f64, maintained: f64) {
+        let rel = (exact - maintained).abs() / exact.max(1.0);
+        if rel > self.max_rel_drift {
+            self.max_rel_drift = rel;
+        }
+    }
+}
+
 /// Accumulated statistics for a run.
 #[derive(Debug, Clone, Default)]
 pub struct RunStats {
     /// One entry per executed parallel step.
     pub steps: Vec<StepStats>,
+    /// Convergence-monitor cost and drift observables (filled by the
+    /// driver; all zero for raw executor runs).
+    pub monitor: MonitorStats,
     /// Messages sent per rank over the whole run.
     pub msgs_per_rank: Vec<u64>,
     /// Measured wall-clock nanoseconds each rank spent in its phase
@@ -243,6 +282,7 @@ impl RunStats {
     pub fn new(nranks: usize) -> Self {
         RunStats {
             steps: Vec::new(),
+            monitor: MonitorStats::default(),
             msgs_per_rank: vec![0; nranks],
             rank_time_ns: vec![0; nranks],
             worker_busy_ns: Vec::new(),

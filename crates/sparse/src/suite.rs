@@ -163,14 +163,14 @@ pub fn suite() -> Vec<SuiteEntry> {
             paper_n: 1_371_480,
             paper_nnz: 60_169_842,
             regime: ConvergesThenDiverges,
-            recipe: Clique3d(38, 38, 38, c3_hot(0.22, 0.20, 0.20, 0.60, 104)),
+            recipe: Clique3d(38, 38, 38, c3_hot(0.21, 0.20, 0.20, 0.60, 104)),
         },
         SuiteEntry {
             name: "Hook_1498",
             paper_n: 1_468_023,
             paper_nnz: 59_344_451,
             regime: ConvergesThenDiverges,
-            recipe: Clique3d(37, 37, 37, c3_hot(0.22, 0.20, 0.20, 0.55, 105)),
+            recipe: Clique3d(37, 37, 37, c3_hot(0.21, 0.20, 0.20, 0.53, 105)),
         },
         SuiteEntry {
             name: "bone010",

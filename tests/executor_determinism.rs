@@ -12,7 +12,9 @@
 //! so no steal order, worker count, or grain can reorder anything
 //! observable. See DESIGN.md ("Persistent worker pool").
 
-use distributed_southwell::core::dist::{distribute, DistributedSouthwellRank};
+use distributed_southwell::core::dist::{
+    distribute, run_method, DistOptions, DistributedSouthwellRank, Method, MonitorMode,
+};
 use distributed_southwell::partition::{partition_multilevel, Graph, MultilevelOptions};
 use distributed_southwell::rma::{ChaosConfig, CostModel, ExecMode, Executor, StepStats};
 use distributed_southwell::sparse::{gen, vecops, CsrMatrix};
@@ -118,6 +120,84 @@ proptest! {
                 duplicate_rate,
                 seed
             );
+        }
+    }
+}
+
+/// Everything a driver run reports, bitwise-comparable: the per-step
+/// residual records (maintained or exact depending on the monitor mode),
+/// the gathered solution, the verdicts, and the monitor accounting.
+#[derive(Debug, PartialEq)]
+struct ReportPrint {
+    records: Vec<(usize, u64)>,
+    x: Vec<u64>,
+    converged_at: Option<usize>,
+    deadlocked: bool,
+    diverged: bool,
+    evals: u64,
+    verifications: u64,
+    max_rel_drift_bits: u64,
+}
+
+fn drive_print(mode: ExecMode, monitor: MonitorMode, chaos: ChaosConfig) -> ReportPrint {
+    let (a, b, x0) = problem_64();
+    let part = partition_multilevel(&Graph::from_matrix(&a), 64, MultilevelOptions::default());
+    let opts = DistOptions {
+        max_steps: 15,
+        target_residual: Some(1e-4),
+        exec_mode: mode,
+        monitor,
+        chaos,
+        ..DistOptions::default()
+    };
+    let rep = run_method(Method::DistributedSouthwell, &a, &b, &x0, &part, &opts);
+    let mon = rep.monitor_stats();
+    ReportPrint {
+        records: rep
+            .records
+            .iter()
+            .map(|r| (r.step, r.residual_norm.to_bits()))
+            .collect(),
+        x: rep.x.iter().map(|v| v.to_bits()).collect(),
+        converged_at: rep.converged_at,
+        deadlocked: rep.deadlocked,
+        diverged: rep.diverged,
+        evals: mon.evals,
+        verifications: mon.verifications,
+        max_rel_drift_bits: mon.max_rel_drift.to_bits(),
+    }
+}
+
+/// The determinism contract lifted to the driver: in BOTH monitor modes,
+/// a full `drive()` run — records, solution, verdicts, monitor counters —
+/// is bit-identical across the sequential executor, the persistent pool,
+/// and the legacy spawn-per-phase scheduler, with and without chaos.
+#[test]
+fn drive_is_bit_identical_across_exec_modes_in_both_monitor_modes() {
+    let chaotic = ChaosConfig {
+        drop_rate: 0.15,
+        duplicate_rate: 0.1,
+        seed: 99,
+        ..ChaosConfig::none()
+    };
+    for monitor in [
+        MonitorMode::Exact,
+        MonitorMode::Maintained { verify_every: 3 },
+        MonitorMode::default(),
+    ] {
+        for chaos in [ChaosConfig::none(), chaotic] {
+            let reference = drive_print(ExecMode::Sequential, monitor, chaos);
+            for mode in [
+                ExecMode::Threaded(2),
+                ExecMode::Threaded(4),
+                ExecMode::ThreadedSpawn(3),
+            ] {
+                assert_eq!(
+                    reference,
+                    drive_print(mode, monitor, chaos),
+                    "{mode:?} diverged from Sequential under {monitor:?}"
+                );
+            }
         }
     }
 }
