@@ -149,6 +149,10 @@ pub fn table2(ctx: &ExperimentCtx, runs: &[SuiteRun]) {
     );
 }
 
+/// One method's Table 3 cells: solve/residual message costs, then the
+/// matching per-class byte volumes (`None` = target never reached).
+type Table3Cells = (Option<f64>, Option<f64>, Option<f64>, Option<f64>);
+
 /// Prints Table 3 (communication breakdown to the 0.1 target).
 pub fn table3(ctx: &ExperimentCtx, runs: &[SuiteRun]) {
     const TARGET: f64 = 0.1;
@@ -159,14 +163,19 @@ pub fn table3(ctx: &ExperimentCtx, runs: &[SuiteRun]) {
     );
     let mut rows = Vec::new();
     for run in runs {
-        // PS is index 1, DS index 2 in METHODS order.
-        let vals: Vec<(Option<f64>, Option<f64>)> = [1usize, 2]
+        // PS is index 1, DS index 2 in METHODS order. Messages carry the
+        // paper's cost metric; the per-class byte columns record the
+        // modelled payload volume behind those messages.
+        let vals: Vec<Table3Cells> = [1usize, 2]
             .iter()
             .map(|&i| {
                 let r = &run.reports[i];
-                let solve = crossing_of(r, TARGET, |rec| rec.msgs_solve as f64 / r.nranks as f64);
-                let res = crossing_of(r, TARGET, |rec| rec.msgs_residual as f64 / r.nranks as f64);
-                (solve, res)
+                let p = r.nranks as f64;
+                let solve = crossing_of(r, TARGET, |rec| rec.msgs_solve as f64 / p);
+                let res = crossing_of(r, TARGET, |rec| rec.msgs_residual as f64 / p);
+                let solve_b = crossing_of(r, TARGET, |rec| rec.bytes_solve as f64 / p);
+                let res_b = crossing_of(r, TARGET, |rec| rec.bytes_residual as f64 / p);
+                (solve, res, solve_b, res_b)
             })
             .collect();
         println!(
@@ -183,13 +192,22 @@ pub fn table3(ctx: &ExperimentCtx, runs: &[SuiteRun]) {
                 run.reports[i].method.label().to_string(),
                 fmt_or_dagger(vals[k].0, 4),
                 fmt_or_dagger(vals[k].1, 4),
+                fmt_or_dagger(vals[k].2, 4),
+                fmt_or_dagger(vals[k].3, 4),
             ]);
         }
     }
     write_csv(
         &ctx.out_dir,
         "table3",
-        &["matrix", "method", "solve_comm", "res_comm"],
+        &[
+            "matrix",
+            "method",
+            "solve_comm",
+            "res_comm",
+            "solve_bytes",
+            "res_bytes",
+        ],
         &rows,
     );
 }

@@ -384,6 +384,13 @@ impl RankAlgorithm for DistributedSouthwellRank {
         2
     }
 
+    fn put_targets(&self) -> Option<Vec<usize>> {
+        // Every message class (solve, residual, recovery) flows only along
+        // the static subdomain neighbor set (enables the executor's
+        // target-major parallel close).
+        Some(self.ls.neighbors.clone())
+    }
+
     fn phase(&mut self, phase: usize, inbox: &[Envelope<SeqMsg>], ctx: &mut PhaseCtx<SeqMsg>) {
         match phase {
             0 => {

@@ -9,7 +9,9 @@ use super::parallel_southwell::ParallelSouthwellRank;
 use super::recovery::Recoverable;
 use crate::history::interpolate_crossing;
 use dsw_partition::Partition;
-use dsw_rma::{ChaosConfig, CostModel, ExecMode, Executor, MonitorStats, RankAlgorithm, RunStats};
+use dsw_rma::{
+    ChaosConfig, CloseMode, CostModel, ExecMode, Executor, MonitorStats, RankAlgorithm, RunStats,
+};
 use dsw_sparse::CsrMatrix;
 use std::time::Instant;
 
@@ -96,6 +98,10 @@ pub struct DistOptions {
     pub cost_model: CostModel,
     /// Sequential or threaded rank execution (identical results).
     pub exec_mode: ExecMode,
+    /// Where epoch closes run (serial reference or the worker pool; all
+    /// solvers declare their neighbor sets, so the executor routes
+    /// target-major either way — identical results).
+    pub close_mode: CloseMode,
     /// Configuration for Distributed Southwell (ablations). Its
     /// `local_solver` field is also honored by Block Jacobi and Parallel
     /// Southwell.
@@ -119,6 +125,7 @@ impl Default for DistOptions {
             target_residual: Some(0.1),
             cost_model: CostModel::default(),
             exec_mode: ExecMode::Sequential,
+            close_mode: CloseMode::default(),
             ds_config: DsConfig::default(),
             divergence_cutoff: Some(1e12),
             chaos: ChaosConfig::none(),
@@ -259,6 +266,14 @@ pub struct StepRecord {
     pub msgs_residual: u64,
     /// Cumulative recovery messages (audits, watchdog rebroadcasts).
     pub msgs_recovery: u64,
+    /// Cumulative modelled payload bytes (all classes).
+    pub bytes: u64,
+    /// Cumulative solve-class payload bytes.
+    pub bytes_solve: u64,
+    /// Cumulative explicit-residual payload bytes.
+    pub bytes_residual: u64,
+    /// Cumulative recovery payload bytes.
+    pub bytes_recovery: u64,
     /// Cumulative modelled wall-clock seconds.
     pub time: f64,
     /// Ranks that relaxed in this step.
@@ -320,6 +335,26 @@ impl DistReport {
     /// The paper's communication cost: total messages / ranks.
     pub fn comm_cost(&self) -> f64 {
         self.records.last().unwrap().msgs as f64 / self.nranks as f64
+    }
+
+    /// Modelled payload volume per rank, bytes (all classes).
+    pub fn byte_cost(&self) -> f64 {
+        self.records.last().unwrap().bytes as f64 / self.nranks as f64
+    }
+
+    /// Solve-class payload volume per rank, bytes.
+    pub fn byte_cost_solve(&self) -> f64 {
+        self.records.last().unwrap().bytes_solve as f64 / self.nranks as f64
+    }
+
+    /// Explicit-residual payload volume per rank, bytes.
+    pub fn byte_cost_residual(&self) -> f64 {
+        self.records.last().unwrap().bytes_residual as f64 / self.nranks as f64
+    }
+
+    /// Recovery payload volume per rank, bytes.
+    pub fn byte_cost_recovery(&self) -> f64 {
+        self.records.last().unwrap().bytes_recovery as f64 / self.nranks as f64
     }
 
     /// Mean fraction of active ranks per executed step.
@@ -441,6 +476,7 @@ where
     let n = a.nrows();
     let nranks = ranks.len();
     let mut ex = Executor::with_chaos(ranks, opts.cost_model, opts.exec_mode, opts.chaos);
+    ex.set_close_mode(opts.close_mode);
     let mut monitor = Monitor::new(a, b);
 
     // The initial state is measured exactly in both modes (one-time cost).
@@ -453,6 +489,10 @@ where
         msgs_solve: 0,
         msgs_residual: 0,
         msgs_recovery: 0,
+        bytes: 0,
+        bytes_solve: 0,
+        bytes_residual: 0,
+        bytes_recovery: 0,
         time: 0.0,
         active_ranks: 0,
         compute_ns: 0,
@@ -520,6 +560,10 @@ where
             msgs_solve: prev.msgs_solve + s.msgs_solve,
             msgs_residual: prev.msgs_residual + s.msgs_residual,
             msgs_recovery: prev.msgs_recovery + s.msgs_recovery,
+            bytes: prev.bytes + s.bytes,
+            bytes_solve: prev.bytes_solve + s.bytes_solve,
+            bytes_residual: prev.bytes_residual + s.bytes_residual,
+            bytes_recovery: prev.bytes_recovery + s.bytes_recovery,
             time: prev.time + s.time,
             active_ranks: s.active_ranks,
             compute_ns: prev.compute_ns + s.compute_ns,
@@ -689,6 +733,13 @@ mod tests {
             last.msgs_solve + last.msgs_residual + last.msgs_recovery
         );
         assert_eq!(rep.stats.total_msgs(), last.msgs);
+        assert_eq!(
+            last.bytes,
+            last.bytes_solve + last.bytes_residual + last.bytes_recovery
+        );
+        assert_eq!(rep.stats.total_bytes(), last.bytes);
+        assert!(last.bytes > 0, "messages carry payload bytes");
+        assert!((rep.byte_cost() - last.bytes as f64 / rep.nranks as f64).abs() < 1e-12);
         assert!((rep.stats.total_time() - last.time).abs() < 1e-12);
         assert!(rep.active_fraction() > 0.0 && rep.active_fraction() <= 1.0);
         // Crossing metrics are monotone sensible.

@@ -57,6 +57,10 @@ pub struct AsyncExecutor<A: RankAlgorithm> {
     injector: FaultInjector,
     /// Messages deferred by delay injection: `(due_tick, target, env)`.
     delayed: Vec<(u64, usize, Envelope<A::Msg>)>,
+    /// Per-(origin, target) message indices for the fate keys (scratch).
+    fate_seq: Vec<u32>,
+    /// Targets touched in `fate_seq` by the current origin (scratch).
+    seq_touched: Vec<usize>,
     /// Completed scheduler ticks.
     ticks: u64,
     /// Aggregate statistics (time model is not meaningful here; only
@@ -107,6 +111,8 @@ impl<A: RankAlgorithm> AsyncExecutor<A> {
             opts,
             rng_state: opts.seed.wrapping_mul(0x9e3779b97f4a7c15) | 1,
             delayed: Vec::new(),
+            fate_seq: vec![0; n],
+            seq_touched: Vec::new(),
             ticks: 0,
             stats: RunStats::new(n),
         })
@@ -172,6 +178,9 @@ impl<A: RankAlgorithm> AsyncExecutor<A> {
             step.msgs_residual += totals.msgs_residual;
             step.msgs_recovery += totals.msgs_recovery;
             step.bytes += totals.bytes;
+            step.bytes_solve += totals.bytes_solve;
+            step.bytes_residual += totals.bytes_residual;
+            step.bytes_recovery += totals.bytes_recovery;
             step.flops += totals.flops;
             step.relaxations += totals.relaxations;
             step.active_ranks += u64::from(totals.active);
@@ -180,9 +189,31 @@ impl<A: RankAlgorithm> AsyncExecutor<A> {
             advanced += 1;
         }
         // Fault injection at the tick boundary (the serialized delivery
-        // point, analogous to the superstep executor's epoch close).
+        // point, analogous to the superstep executor's epoch close). Fates
+        // are keyed on `(tick, origin, target, index, class)`; `tick_out`
+        // is grouped by origin in rank order, so the per-(origin, target)
+        // index scratch resets whenever the origin changes.
+        let message_faults = self.injector.config().message_faults_active();
+        let mut cur_origin = usize::MAX;
         for (target, env) in tick_out {
-            let fate = self.injector.fate(env.class);
+            let fate = if message_faults {
+                if env.src != cur_origin {
+                    for &t in &self.seq_touched {
+                        self.fate_seq[t] = 0;
+                    }
+                    self.seq_touched.clear();
+                    cur_origin = env.src;
+                }
+                let idx = self.fate_seq[target];
+                self.fate_seq[target] += 1;
+                if idx == 0 {
+                    self.seq_touched.push(target);
+                }
+                self.injector
+                    .fate_at(self.ticks, env.src as u32, target as u32, idx, env.class)
+            } else {
+                crate::fault::Fate::DELIVER
+            };
             if fate.dropped {
                 step.faults.dropped.add(env.class, 1);
                 continue;
@@ -199,17 +230,13 @@ impl<A: RankAlgorithm> AsyncExecutor<A> {
                 self.pending[target].push(env);
             }
         }
-        // Surface deferred messages whose delay expired this tick.
+        // Surface deferred messages whose delay expired this tick — one
+        // order-preserving partition pass (deferral order is kept for both
+        // the extracted and the retained messages).
         if !self.delayed.is_empty() {
             let due = self.ticks;
-            let mut i = 0;
-            while i < self.delayed.len() {
-                if self.delayed[i].0 <= due {
-                    let (_, target, env) = self.delayed.remove(i);
-                    self.pending[target].push(env);
-                } else {
-                    i += 1;
-                }
+            for (_, target, env) in self.delayed.extract_if(.., |d| d.0 <= due) {
+                self.pending[target].push(env);
             }
         }
         self.ticks += 1;

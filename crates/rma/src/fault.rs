@@ -16,14 +16,18 @@
 //!   parallel steps (an OS-jitter / straggler model). Its inbox keeps
 //!   accumulating while it is stalled, so nothing is lost — only late.
 //!
-//! All decisions are drawn from seeded generators owned by the executor
-//! and consulted only in the serialized epoch-close section, so a given
-//! `ChaosConfig` produces the *same* fault pattern under
-//! `ExecMode::Sequential` and `ExecMode::Threaded(_)`.
-//!
-//! Message-fate draws and stall draws come from two independent streams:
-//! changing the message volume (e.g. by switching solvers) does not change
-//! which ranks stall, and vice versa.
+//! Message fates are **counter-based**: the draw for a message is a pure
+//! hash of `(seed, epoch, origin, target, index, class)`, where `index`
+//! numbers the puts an origin issued to that target within the epoch. A
+//! fate therefore never depends on how many other messages exist or in
+//! what order they are examined, so the epoch close may compute fates
+//! concurrently — target-major, origin-major, chunked across a worker
+//! pool — and a given `ChaosConfig` produces the *same* fault pattern
+//! under `ExecMode::Sequential` and `ExecMode::Threaded(_)` by
+//! construction. Stall draws come from an independent sequential stream
+//! (drawn once per step in rank order, which is already order-fixed):
+//! changing the message volume (e.g. by switching solvers) does not
+//! change which ranks stall, and vice versa.
 
 use crate::stats::CommClass;
 
@@ -135,9 +139,19 @@ impl XorShift {
     }
 
     /// Uniform draw from `1..=max`.
+    #[allow(dead_code)]
     pub(crate) fn next_in_1_to(&mut self, max: usize) -> usize {
         1 + (self.next_u64() % max as u64) as usize
     }
+}
+
+/// The splitmix64 finalizer: a full-avalanche bijection on `u64`, used to
+/// turn a structured key into an independent-looking draw.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// The decided fate of one about-to-be-delivered message.
@@ -165,15 +179,17 @@ impl Fate {
     };
 }
 
-/// Draws fault decisions for an executor. Construct once per run; consult
-/// only from the serialized epoch-close section (the injector is
-/// deliberately not `Sync` — sharing it across rank threads would make the
-/// fault pattern schedule-dependent).
+/// Draws fault decisions for an executor. Construct once per run.
+///
+/// Message fates ([`FaultInjector::fate_at`]) are pure functions of their
+/// key, so they may be evaluated from any thread in any order. Stall
+/// state ([`FaultInjector::step_stalls`]) is sequential and advances once
+/// per parallel step on the coordinating thread.
 #[derive(Debug)]
 pub struct FaultInjector {
     cfg: ChaosConfig,
-    /// Stream for per-message fate draws.
-    msg_rng: XorShift,
+    /// Pre-mixed seed for the counter-based message-fate hash.
+    msg_key: u64,
     /// Independent stream for per-rank stall draws.
     stall_rng: XorShift,
     /// Remaining stall steps per rank (0 = running).
@@ -191,7 +207,7 @@ impl FaultInjector {
         }
         FaultInjector {
             cfg,
-            msg_rng: XorShift::new(cfg.seed),
+            msg_key: mix64(cfg.seed ^ 0x9e37_79b9_7f4a_7c15),
             // Decorrelate the two streams with a fixed offset on the seed.
             stall_rng: XorShift::new(cfg.seed ^ 0xD5A6_1F2C_93B4_7E81),
             stall_left: vec![0; nranks],
@@ -203,25 +219,76 @@ impl FaultInjector {
         &self.cfg
     }
 
-    /// Decides the fate of one message of class `class`.
+    /// One uniform `[0, 1)` draw for `lane` of the keyed message. Each
+    /// fault type owns a fixed lane, so its draw is independent of which
+    /// other fault types are configured.
+    #[inline]
+    fn draw(
+        &self,
+        epoch: u64,
+        origin: u32,
+        target: u32,
+        index: u32,
+        class: CommClass,
+        lane: u8,
+    ) -> u64 {
+        let h = self.msg_key ^ mix64(epoch);
+        let h = mix64(h ^ (((origin as u64) << 32) | target as u64));
+        mix64(h ^ (((index as u64) << 16) | ((class as u8 as u64) << 8) | lane as u64))
+    }
+
+    #[inline]
+    fn draw_f64(
+        &self,
+        epoch: u64,
+        origin: u32,
+        target: u32,
+        index: u32,
+        class: CommClass,
+        lane: u8,
+    ) -> f64 {
+        (self.draw(epoch, origin, target, index, class, lane) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Decides the fate of one message, keyed on its delivery coordinates:
+    /// the global `epoch` being closed, the `origin` and `target` ranks,
+    /// the `index` of the message among the origin's puts to that target
+    /// within the epoch, and its `class`.
     ///
-    /// A fault type whose rate is zero consumes no randomness, so enabling
-    /// one fault never perturbs the pattern of another, and a fully zero
-    /// config is bit-identical to no injector at all.
-    pub fn fate(&mut self, class: CommClass) -> Fate {
+    /// The decision is a pure hash of the key — no stream state — so it is
+    /// independent of evaluation order and thread, which is what lets the
+    /// epoch close route messages in parallel while reproducing the exact
+    /// same fault pattern as a serial close. Each fault type draws from
+    /// its own lane of the hash, so enabling one fault never perturbs the
+    /// pattern of another, and a fault type whose rate is zero is never
+    /// even evaluated.
+    pub fn fate_at(
+        &self,
+        epoch: u64,
+        origin: u32,
+        target: u32,
+        index: u32,
+        class: CommClass,
+    ) -> Fate {
         let mut fate = Fate::DELIVER;
         if self.cfg.drop_rate > 0.0
             && self.cfg.drop_class.is_none_or(|c| c == class)
-            && self.msg_rng.next_f64() < self.cfg.drop_rate
+            && self.draw_f64(epoch, origin, target, index, class, 0) < self.cfg.drop_rate
         {
             fate.dropped = true;
             return fate;
         }
-        if self.cfg.duplicate_rate > 0.0 && self.msg_rng.next_f64() < self.cfg.duplicate_rate {
+        if self.cfg.duplicate_rate > 0.0
+            && self.draw_f64(epoch, origin, target, index, class, 1) < self.cfg.duplicate_rate
+        {
             fate.duplicated = true;
         }
-        if self.cfg.delay_rate > 0.0 && self.msg_rng.next_f64() < self.cfg.delay_rate {
-            fate.delay = self.msg_rng.next_in_1_to(self.cfg.max_delay_epochs);
+        if self.cfg.delay_rate > 0.0
+            && self.draw_f64(epoch, origin, target, index, class, 2) < self.cfg.delay_rate
+        {
+            fate.delay = 1
+                + (self.draw(epoch, origin, target, index, class, 3)
+                    % self.cfg.max_delay_epochs as u64) as usize;
         }
         fate
     }
@@ -257,19 +324,30 @@ impl FaultInjector {
 mod tests {
     use super::*;
 
-    #[test]
-    fn zero_config_draws_nothing_and_delivers() {
-        let mut inj = FaultInjector::new(ChaosConfig::none(), 4);
-        let before = format!("{:?}", inj.msg_rng);
-        for _ in 0..100 {
-            assert_eq!(inj.fate(CommClass::Solve), Fate::DELIVER);
+    /// Enumerates fates over a small grid of delivery coordinates.
+    fn fate_grid(inj: &FaultInjector) -> Vec<Fate> {
+        let mut fates = Vec::new();
+        for epoch in 0..25u64 {
+            for origin in 0..4u32 {
+                for target in 0..4u32 {
+                    for index in 0..2u32 {
+                        fates.push(inj.fate_at(epoch, origin, target, index, CommClass::Solve));
+                    }
+                }
+            }
         }
-        assert_eq!(format!("{:?}", inj.msg_rng), before, "no RNG consumed");
+        fates
+    }
+
+    #[test]
+    fn zero_config_delivers_everything() {
+        let mut inj = FaultInjector::new(ChaosConfig::none(), 4);
+        assert!(fate_grid(&inj).iter().all(|&f| f == Fate::DELIVER));
         assert_eq!(inj.step_stalls(), vec![false; 4]);
     }
 
     #[test]
-    fn fates_are_deterministic_per_seed() {
+    fn fates_are_deterministic_per_seed_and_order_independent() {
         let cfg = ChaosConfig {
             drop_rate: 0.2,
             duplicate_rate: 0.2,
@@ -280,16 +358,24 @@ mod tests {
             seed: 42,
             ..ChaosConfig::none()
         };
-        let run = |cfg: ChaosConfig| {
+        let inj = FaultInjector::new(cfg, 8);
+        assert_eq!(fate_grid(&inj), fate_grid(&inj), "pure function of the key");
+        // Evaluating a fate repeatedly or in any order changes nothing:
+        // spot-check one key before and after a full sweep.
+        let probe = inj.fate_at(7, 3, 1, 0, CommClass::Solve);
+        let _ = fate_grid(&inj);
+        assert_eq!(probe, inj.fate_at(7, 3, 1, 0, CommClass::Solve));
+        let other = FaultInjector::new(ChaosConfig { seed: 43, ..cfg }, 8);
+        assert_ne!(
+            fate_grid(&inj),
+            fate_grid(&other),
+            "seed changes the pattern"
+        );
+        let stalls = |cfg: ChaosConfig| {
             let mut inj = FaultInjector::new(cfg, 8);
-            let fates: Vec<Fate> = (0..200).map(|_| inj.fate(CommClass::Solve)).collect();
-            let stalls: Vec<Vec<bool>> = (0..50).map(|_| inj.step_stalls()).collect();
-            (fates, stalls)
+            (0..50).map(|_| inj.step_stalls()).collect::<Vec<_>>()
         };
-        assert_eq!(run(cfg), run(cfg));
-        let mut other = cfg;
-        other.seed = 43;
-        assert_ne!(run(cfg).0, run(other).0);
+        assert_eq!(stalls(cfg), stalls(cfg));
     }
 
     #[test]
@@ -301,8 +387,18 @@ mod tests {
             seed: 7,
             ..ChaosConfig::none()
         };
-        let mut inj = FaultInjector::new(cfg, 1);
-        let fates: Vec<Fate> = (0..10_000).map(|_| inj.fate(CommClass::Residual)).collect();
+        let inj = FaultInjector::new(cfg, 1);
+        let fates: Vec<Fate> = (0..10_000u64)
+            .map(|k| {
+                inj.fate_at(
+                    k / 100,
+                    (k % 100 / 10) as u32,
+                    (k % 10) as u32,
+                    0,
+                    CommClass::Residual,
+                )
+            })
+            .collect();
         let drops = fates.iter().filter(|f| f.dropped).count() as f64 / 10_000.0;
         assert!((drops - 0.3).abs() < 0.03, "drop rate {drops}");
         let delayed: Vec<usize> = fates
@@ -311,11 +407,42 @@ mod tests {
             .map(|f| f.delay)
             .collect();
         assert!(delayed.iter().all(|&d| (1..=4).contains(&d)));
+        assert!(!delayed.is_empty());
         // Dropped messages never carry secondary faults.
         assert!(fates
             .iter()
             .filter(|f| f.dropped)
             .all(|f| !f.duplicated && f.delay == 0));
+    }
+
+    #[test]
+    fn lanes_are_independent_across_fault_types() {
+        // Same seed, same keys: enabling drops must not change which
+        // messages get duplicated (each fault type has its own hash lane).
+        let dup_only = FaultInjector::new(
+            ChaosConfig {
+                duplicate_rate: 0.3,
+                seed: 11,
+                ..ChaosConfig::none()
+            },
+            1,
+        );
+        let dup_and_drop = FaultInjector::new(
+            ChaosConfig {
+                drop_rate: 0.5,
+                duplicate_rate: 0.3,
+                seed: 11,
+                ..ChaosConfig::none()
+            },
+            1,
+        );
+        for epoch in 0..500u64 {
+            let a = dup_only.fate_at(epoch, 0, 1, 0, CommClass::Solve);
+            let b = dup_and_drop.fate_at(epoch, 0, 1, 0, CommClass::Solve);
+            if !b.dropped {
+                assert_eq!(a.duplicated, b.duplicated, "epoch {epoch}");
+            }
+        }
     }
 
     #[test]
@@ -326,10 +453,10 @@ mod tests {
             seed: 1,
             ..ChaosConfig::none()
         };
-        let mut inj = FaultInjector::new(cfg, 1);
-        assert!(!inj.fate(CommClass::Solve).dropped);
-        assert!(inj.fate(CommClass::Residual).dropped);
-        assert!(!inj.fate(CommClass::Recovery).dropped);
+        let inj = FaultInjector::new(cfg, 1);
+        assert!(!inj.fate_at(0, 0, 1, 0, CommClass::Solve).dropped);
+        assert!(inj.fate_at(0, 0, 1, 0, CommClass::Residual).dropped);
+        assert!(!inj.fate_at(0, 0, 1, 0, CommClass::Recovery).dropped);
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub mod stats;
 pub mod trace;
 
 pub use async_exec::{AsyncExecutor, AsyncOptions};
-pub use executor::{Envelope, ExecMode, Executor, PhaseCtx, RankAlgorithm};
+pub use executor::{CloseMode, Envelope, ExecMode, Executor, PhaseCtx, RankAlgorithm};
 pub use fault::{ChaosConfig, Fate, FaultInjector};
 pub use stats::{ClassCounts, CommClass, CostModel, FaultStats, MonitorStats, RunStats, StepStats};
 pub use trace::{Trace, TraceEvent};

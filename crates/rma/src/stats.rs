@@ -165,6 +165,12 @@ pub struct StepStats {
     pub msgs_recovery: u64,
     /// Payload bytes sent by all ranks.
     pub bytes: u64,
+    /// ... of class [`CommClass::Solve`].
+    pub bytes_solve: u64,
+    /// ... of class [`CommClass::Residual`].
+    pub bytes_residual: u64,
+    /// ... of class [`CommClass::Recovery`].
+    pub bytes_recovery: u64,
     /// Flops reported by all ranks.
     pub flops: u64,
     /// Ranks that reported at least one relaxation.
@@ -185,6 +191,12 @@ pub struct StepStats {
     /// Measured: wall-clock nanoseconds of the step's compute dispatch
     /// windows (all phases, as seen by the executor's driving thread).
     pub span_ns: u64,
+    /// Measured: wall-clock nanoseconds the executor spent closing this
+    /// step's epochs — fate draws, message routing into inboxes, delayed
+    /// expiry, and the stats fold. `span_ns + route_ns` is essentially the
+    /// whole step; their ratio is the routing share the parallel close
+    /// attacks.
+    pub route_ns: u64,
     /// Workers that executed rank phases this step (1 = sequential).
     pub workers: u32,
 }
@@ -200,6 +212,9 @@ impl PartialEq for StepStats {
             && self.msgs_residual == other.msgs_residual
             && self.msgs_recovery == other.msgs_recovery
             && self.bytes == other.bytes
+            && self.bytes_solve == other.bytes_solve
+            && self.bytes_residual == other.bytes_residual
+            && self.bytes_recovery == other.bytes_recovery
             && self.flops == other.flops
             && self.active_ranks == other.active_ranks
             && self.relaxations == other.relaxations
@@ -312,6 +327,31 @@ impl RunStats {
     /// Total recovery-class messages (audit / resync / watchdog traffic).
     pub fn total_msgs_recovery(&self) -> u64 {
         self.steps.iter().map(|s| s.msgs_recovery).sum()
+    }
+
+    /// Total payload bytes over all steps.
+    pub fn total_bytes(&self) -> u64 {
+        self.steps.iter().map(|s| s.bytes).sum()
+    }
+
+    /// Total solve-class payload bytes.
+    pub fn total_bytes_solve(&self) -> u64 {
+        self.steps.iter().map(|s| s.bytes_solve).sum()
+    }
+
+    /// Total residual-class payload bytes.
+    pub fn total_bytes_residual(&self) -> u64 {
+        self.steps.iter().map(|s| s.bytes_residual).sum()
+    }
+
+    /// Total recovery-class payload bytes.
+    pub fn total_bytes_recovery(&self) -> u64 {
+        self.steps.iter().map(|s| s.bytes_recovery).sum()
+    }
+
+    /// Total measured epoch-close (routing) nanoseconds over the run.
+    pub fn total_route_ns(&self) -> u64 {
+        self.steps.iter().map(|s| s.route_ns).sum()
     }
 
     /// Fault-injection outcomes accumulated over the whole run.
@@ -427,6 +467,8 @@ mod tests {
             msgs_solve: 6,
             msgs_residual: 2,
             bytes: 100,
+            bytes_solve: 80,
+            bytes_residual: 20,
             flops: 50,
             active_ranks: 2,
             relaxations: 20,
@@ -439,6 +481,9 @@ mod tests {
             msgs_residual: 2,
             msgs_recovery: 1,
             bytes: 40,
+            bytes_solve: 25,
+            bytes_residual: 10,
+            bytes_recovery: 5,
             flops: 10,
             active_ranks: 4,
             relaxations: 40,
@@ -475,6 +520,10 @@ mod tests {
         assert!((rs.mean_active_fraction() - 0.75).abs() < 1e-15);
         assert_eq!(rs.total_msgs_recovery(), 1);
         assert!((rs.comm_cost_recovery() - 0.25).abs() < 1e-15);
+        assert_eq!(rs.total_bytes(), 140);
+        assert_eq!(rs.total_bytes_solve(), 105);
+        assert_eq!(rs.total_bytes_residual(), 30);
+        assert_eq!(rs.total_bytes_recovery(), 5);
         let faults = rs.total_faults();
         assert_eq!(faults.dropped.total(), 3);
         assert_eq!(faults.duplicated.of(CommClass::Solve), 1);

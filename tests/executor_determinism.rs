@@ -6,17 +6,22 @@
 //! fault counters all match exactly, step by step.
 //!
 //! Why this holds by construction: rank phases are pure with respect to
-//! each other (puts land in private outboxes), the epoch close that makes
-//! them visible is serialized in origin-rank order on the coordinating
-//! thread, and the fault injector draws its per-message fate there too —
-//! so no steal order, worker count, or grain can reorder anything
-//! observable. See DESIGN.md ("Persistent worker pool").
+//! each other (puts land in per-(origin, target) buckets of the routing
+//! index), the epoch close that makes them visible routes each target's
+//! buckets in origin order over disjoint per-target state — serially or
+//! chunked across the worker pool ([`CloseMode`]) — and the fault injector
+//! computes each message's fate as a pure function of its
+//! `(epoch, origin, target, index, class)` key, so no steal order, worker
+//! count, grain, or close chunking can reorder anything observable. See
+//! DESIGN.md ("Persistent worker pool", "Parallel epoch close").
 
 use distributed_southwell::core::dist::{
     distribute, run_method, DistOptions, DistributedSouthwellRank, Method, MonitorMode,
 };
 use distributed_southwell::partition::{partition_multilevel, Graph, MultilevelOptions};
-use distributed_southwell::rma::{ChaosConfig, CostModel, ExecMode, Executor, StepStats};
+use distributed_southwell::rma::{
+    ChaosConfig, CloseMode, CostModel, ExecMode, Executor, StepStats,
+};
 use distributed_southwell::sparse::{gen, vecops, CsrMatrix};
 use proptest::prelude::*;
 
@@ -52,7 +57,7 @@ fn problem_64() -> (CsrMatrix, Vec<f64>, Vec<f64>) {
     (a, b, x0)
 }
 
-fn run(mode: ExecMode, chaos: ChaosConfig, nsteps: usize) -> Fingerprint {
+fn run(mode: ExecMode, close: CloseMode, chaos: ChaosConfig, nsteps: usize) -> Fingerprint {
     let (a, b, x0) = problem_64();
     let part = partition_multilevel(&Graph::from_matrix(&a), 64, MultilevelOptions::default());
     let locals = distribute(&a, &b, &x0, &part).unwrap();
@@ -60,6 +65,11 @@ fn run(mode: ExecMode, chaos: ChaosConfig, nsteps: usize) -> Fingerprint {
     let r0 = a.residual(&b, &x0);
     let ranks = DistributedSouthwellRank::build(locals, &norms, &r0);
     let mut ex = Executor::with_chaos(ranks, CostModel::default(), mode, chaos);
+    assert!(
+        ex.has_routing_index(),
+        "DS ranks declare put_targets, so the executor must route target-major"
+    );
+    ex.set_close_mode(close);
     for _ in 0..nsteps {
         ex.step();
     }
@@ -82,13 +92,20 @@ fn run(mode: ExecMode, chaos: ChaosConfig, nsteps: usize) -> Fingerprint {
 
 #[test]
 fn pool_is_bit_identical_to_sequential_without_chaos() {
-    let reference = run(ExecMode::Sequential, ChaosConfig::none(), 10);
+    let reference = run(
+        ExecMode::Sequential,
+        CloseMode::Serial,
+        ChaosConfig::none(),
+        10,
+    );
     for nworkers in [2usize, 4, 7] {
-        let pooled = run(ExecMode::Threaded(nworkers), ChaosConfig::none(), 10);
-        assert_eq!(
-            reference, pooled,
-            "Threaded({nworkers}) diverged on a clean link"
-        );
+        for close in [CloseMode::Serial, CloseMode::Parallel] {
+            let pooled = run(ExecMode::Threaded(nworkers), close, ChaosConfig::none(), 10);
+            assert_eq!(
+                reference, pooled,
+                "Threaded({nworkers}) × {close:?} diverged on a clean link"
+            );
+        }
     }
 }
 
@@ -108,18 +125,21 @@ proptest! {
             seed,
             ..ChaosConfig::none()
         };
-        let reference = run(ExecMode::Sequential, chaos, 10);
+        let reference = run(ExecMode::Sequential, CloseMode::Serial, chaos, 10);
         for nworkers in [2usize, 4, 7] {
-            let pooled = run(ExecMode::Threaded(nworkers), chaos, 10);
-            prop_assert_eq!(
-                &reference,
-                &pooled,
-                "Threaded({}) diverged from Sequential (drop {:.3}, dup {:.3}, seed {})",
-                nworkers,
-                drop_rate,
-                duplicate_rate,
-                seed
-            );
+            for close in [CloseMode::Serial, CloseMode::Parallel] {
+                let pooled = run(ExecMode::Threaded(nworkers), close, chaos, 10);
+                prop_assert_eq!(
+                    &reference,
+                    &pooled,
+                    "Threaded({}) × {:?} diverged from Sequential (drop {:.3}, dup {:.3}, seed {})",
+                    nworkers,
+                    close,
+                    drop_rate,
+                    duplicate_rate,
+                    seed
+                );
+            }
         }
     }
 }
@@ -139,13 +159,19 @@ struct ReportPrint {
     max_rel_drift_bits: u64,
 }
 
-fn drive_print(mode: ExecMode, monitor: MonitorMode, chaos: ChaosConfig) -> ReportPrint {
+fn drive_print(
+    mode: ExecMode,
+    close_mode: CloseMode,
+    monitor: MonitorMode,
+    chaos: ChaosConfig,
+) -> ReportPrint {
     let (a, b, x0) = problem_64();
     let part = partition_multilevel(&Graph::from_matrix(&a), 64, MultilevelOptions::default());
     let opts = DistOptions {
         max_steps: 15,
         target_residual: Some(1e-4),
         exec_mode: mode,
+        close_mode,
         monitor,
         chaos,
         ..DistOptions::default()
@@ -170,8 +196,9 @@ fn drive_print(mode: ExecMode, monitor: MonitorMode, chaos: ChaosConfig) -> Repo
 
 /// The determinism contract lifted to the driver: in BOTH monitor modes,
 /// a full `drive()` run — records, solution, verdicts, monitor counters —
-/// is bit-identical across the sequential executor, the persistent pool,
-/// and the legacy spawn-per-phase scheduler, with and without chaos.
+/// is bit-identical across the sequential executor, the persistent pool
+/// (with the epoch close serial and parallel), and the legacy
+/// spawn-per-phase scheduler, with and without chaos.
 #[test]
 fn drive_is_bit_identical_across_exec_modes_in_both_monitor_modes() {
     let chaotic = ChaosConfig {
@@ -186,16 +213,18 @@ fn drive_is_bit_identical_across_exec_modes_in_both_monitor_modes() {
         MonitorMode::default(),
     ] {
         for chaos in [ChaosConfig::none(), chaotic] {
-            let reference = drive_print(ExecMode::Sequential, monitor, chaos);
-            for mode in [
-                ExecMode::Threaded(2),
-                ExecMode::Threaded(4),
-                ExecMode::ThreadedSpawn(3),
+            let reference = drive_print(ExecMode::Sequential, CloseMode::Serial, monitor, chaos);
+            for (mode, close) in [
+                (ExecMode::Threaded(2), CloseMode::Parallel),
+                (ExecMode::Threaded(4), CloseMode::Parallel),
+                (ExecMode::Threaded(4), CloseMode::Serial),
+                (ExecMode::Threaded(2), CloseMode::Auto),
+                (ExecMode::ThreadedSpawn(3), CloseMode::Auto),
             ] {
                 assert_eq!(
                     reference,
-                    drive_print(mode, monitor, chaos),
-                    "{mode:?} diverged from Sequential under {monitor:?}"
+                    drive_print(mode, close, monitor, chaos),
+                    "{mode:?} × {close:?} diverged from Sequential under {monitor:?}"
                 );
             }
         }

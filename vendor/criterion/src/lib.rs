@@ -45,6 +45,18 @@ fn record_json(group: &str, id: &str, mean_s: f64, min_s: f64, samples: usize) {
     append_json_entry(std::path::Path::new(&path), &entry);
 }
 
+/// Records a scalar metric (not a timing) into the `DSW_BENCH_JSON` array,
+/// if requested: `{"group","id","value"}`. Benches use this for metadata a
+/// downstream gate needs alongside the timings — worker counts, ratios,
+/// breakdown nanoseconds.
+pub fn record_metric(group: &str, id: &str, value: f64) {
+    let Some(path) = std::env::var_os("DSW_BENCH_JSON") else {
+        return;
+    };
+    let entry = format!("{{\"group\":\"{group}\",\"id\":\"{id}\",\"value\":{value:.9}}}");
+    append_json_entry(std::path::Path::new(&path), &entry);
+}
+
 /// Appends `entry` to the JSON array at `path`, creating it if needed.
 fn append_json_entry(path: &std::path::Path, entry: &str) {
     let existing = std::fs::read_to_string(path).unwrap_or_default();
