@@ -90,7 +90,7 @@ fn bench_method_pair<A, F, L>(
     group.bench_function(&format!("{name}_step_exact"), |bench| {
         bench.iter(|| {
             ex.step();
-            mon.exact(&ex, &local_of)
+            mon.exact(ex.ranks(), &local_of)
         })
     });
     let mut ex = Executor::new(build(), CostModel::default(), ExecMode::Sequential);
@@ -101,7 +101,7 @@ fn bench_method_pair<A, F, L>(
     group.bench_function(&format!("{name}_step_maintained"), |bench| {
         bench.iter(|| {
             ex.step();
-            mon.maintained(&ex).map(|m| m.norm)
+            mon.maintained(ex.ranks()).map(|m| m.norm)
         })
     });
 }
@@ -152,10 +152,10 @@ fn bench_monitor_512(c: &mut Criterion) {
         );
         let mut mon = Monitor::new(&a, &b);
         group.bench_function(&format!("eval_exact_512_grid{tag}"), |bench| {
-            bench.iter(|| mon.exact(&ex, &|r: &DistributedSouthwellRank| &r.ls))
+            bench.iter(|| mon.exact(ex.ranks(), &|r: &DistributedSouthwellRank| &r.ls))
         });
         group.bench_function(&format!("eval_maintained_512_grid{tag}"), |bench| {
-            bench.iter(|| mon.maintained(&ex).map(|m| m.norm))
+            bench.iter(|| mon.maintained(ex.ranks()).map(|m| m.norm))
         });
     }
     group.finish();

@@ -14,8 +14,10 @@
 //! | fig9   | residual after 50 steps vs rank count                   |
 //! | ablation | deadlock-avoidance and ghost-refinement ablations     |
 //! | chaos  | DS on an unreliable transport, recovery off vs on       |
+//! | async  | DS vs PS vs BJ on the asynchronous backend (lag × skew) |
 
 pub mod ablation;
+pub mod async_convergence;
 pub mod chaos;
 pub mod comm_pattern;
 pub mod fig1;

@@ -27,8 +27,8 @@ pub mod seq;
 pub use block_jacobi::BlockJacobiRank;
 pub use distributed_southwell::{DistributedSouthwellRank, DsConfig};
 pub use driver::{
-    drive, run_method, DistOptions, DistReport, MaintainedNorm, Method, Monitor, MonitorMode,
-    StepRecord,
+    drive, run_method, DistOptions, DistReport, ExecBackend, MaintainedNorm, Method, Monitor,
+    MonitorMode, StepRecord,
 };
 pub use layout::{distribute, gather_r, gather_x, LocalSystem};
 pub use local_solver::{LocalSolver, LocalSolverImpl};

@@ -30,6 +30,14 @@ pub struct AsyncOptions {
     pub max_lag: usize,
     /// Scheduler seed.
     pub seed: u64,
+    /// Heterogeneity of rank speeds in `[0, 1]`: rank `i` advances with
+    /// probability `advance_probability · (1 − straggler_skew · u_i)`,
+    /// where `u_i ∈ [0, 1)` is a per-rank uniform drawn once from `seed`
+    /// (deterministic per seed). `0.0` — the default — keeps every rank at
+    /// `advance_probability` (the homogeneous model); values near `1.0`
+    /// give some ranks nearly zero speed, the straggler regime of the
+    /// asynchronous-solver literature.
+    pub straggler_skew: f64,
 }
 
 impl Default for AsyncOptions {
@@ -38,9 +46,25 @@ impl Default for AsyncOptions {
             advance_probability: 0.7,
             max_lag: 4,
             seed: 1,
+            straggler_skew: 0.0,
         }
     }
 }
+
+/// SplitMix64 finalizer — the same mixer the fault injector uses; here it
+/// turns `(seed, rank)` into the per-rank speed draw.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// The outcome of [`AsyncExecutor::run_steps`]: how many ticks elapsed,
+/// with `Err` marking a timeout (the goal was NOT reached within the
+/// budget). A goal reached exactly on the final permitted tick is
+/// `Ok(max_ticks)`, not a timeout.
+pub type RunStepsResult = Result<usize, usize>;
 
 /// Runs ranks with independent phase clocks.
 pub struct AsyncExecutor<A: RankAlgorithm> {
@@ -49,9 +73,16 @@ pub struct AsyncExecutor<A: RankAlgorithm> {
     clock: Vec<usize>,
     /// Messages awaiting the target's next phase boundary.
     pending: Vec<Vec<Envelope<A::Msg>>>,
-    /// Messages visible to the target's next phase.
+    /// Messages visible to the target's next phase: at each phase boundary
+    /// the rank's `pending` queue is drained into this buffer (the moment
+    /// of visibility under the window rule), the phase reads it, and it is
+    /// cleared — retaining its capacity across ticks.
     inboxes: Vec<Vec<Envelope<A::Msg>>>,
     opts: AsyncOptions,
+    /// Per-rank advance probability (the straggler model): uniform at
+    /// `advance_probability` when `straggler_skew` is zero, skewed
+    /// downward per rank otherwise. Drawn once at construction.
+    advance_p: Vec<f64>,
     rng_state: u64,
     /// Fault decisions for messages crossing tick boundaries.
     injector: FaultInjector,
@@ -91,6 +122,10 @@ impl<A: RankAlgorithm> AsyncExecutor<A> {
             (0.0..=1.0).contains(&opts.advance_probability),
             "advance_probability must be a probability"
         );
+        assert!(
+            (0.0..=1.0).contains(&opts.straggler_skew),
+            "straggler_skew must be in [0, 1]"
+        );
         assert!(opts.max_lag >= 1, "max_lag must be at least 1");
         chaos.validate()?;
         if chaos.stalls_active() {
@@ -102,6 +137,20 @@ impl<A: RankAlgorithm> AsyncExecutor<A> {
             );
         }
         let n = ranks.len();
+        // The per-rank speed draw is independent of the scheduler's
+        // coin-flip stream, so turning skew on or off never perturbs the
+        // flips themselves.
+        let advance_p: Vec<f64> = (0..n)
+            .map(|i| {
+                let u = if opts.straggler_skew > 0.0 {
+                    let h = mix64(opts.seed ^ (i as u64).wrapping_mul(0xd1342543de82ef95));
+                    (h >> 11) as f64 / (1u64 << 53) as f64
+                } else {
+                    0.0
+                };
+                opts.advance_probability * (1.0 - opts.straggler_skew * u)
+            })
+            .collect();
         Ok(AsyncExecutor {
             injector: FaultInjector::new(chaos, n),
             ranks,
@@ -109,6 +158,7 @@ impl<A: RankAlgorithm> AsyncExecutor<A> {
             pending: (0..n).map(|_| Vec::new()).collect(),
             inboxes: (0..n).map(|_| Vec::new()).collect(),
             opts,
+            advance_p,
             rng_state: opts.seed.wrapping_mul(0x9e3779b97f4a7c15) | 1,
             delayed: Vec::new(),
             fate_seq: vec![0; n],
@@ -132,9 +182,33 @@ impl<A: RankAlgorithm> AsyncExecutor<A> {
         &self.ranks
     }
 
+    /// Mutable access to the rank programs (the driver's freeze watchdog
+    /// nudges through this).
+    pub fn ranks_mut(&mut self) -> &mut [A] {
+        &mut self.ranks
+    }
+
     /// The per-rank phase clocks.
     pub fn clocks(&self) -> &[usize] {
         &self.clock
+    }
+
+    /// Completed scheduler ticks.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// The realized per-rank advance probabilities (the straggler model's
+    /// speed draws; all equal to `advance_probability` at zero skew).
+    pub fn advance_probabilities(&self) -> &[f64] {
+        &self.advance_p
+    }
+
+    /// Messages currently in flight: queued for a future phase boundary or
+    /// parked by delay injection. Zero means nothing undelivered remains,
+    /// so a globally idle window cannot be woken by the substrate.
+    pub fn in_flight(&self) -> usize {
+        self.pending.iter().map(Vec::len).sum::<usize>() + self.delayed.len()
     }
 
     /// One scheduler tick: every rank that wins the coin flip — and is not
@@ -155,18 +229,20 @@ impl<A: RankAlgorithm> AsyncExecutor<A> {
             if self.clock[i] >= min_clock + self.opts.max_lag {
                 continue; // progress bound: wait for stragglers
             }
-            if self.next_f64() >= self.opts.advance_probability {
+            if self.next_f64() >= self.advance_p[i] {
                 continue;
             }
-            // Phase boundary for rank i: absorb pending messages, run.
-            let mut inbox = std::mem::take(&mut self.inboxes[i]);
-            inbox.append(&mut self.pending[i]);
+            // Phase boundary for rank i: pending puts become visible by
+            // moving into the rank's inbox (cleared after the phase, so
+            // each message is seen exactly once; capacity is retained).
+            self.inboxes[i].append(&mut self.pending[i]);
             // Deterministic order regardless of arrival interleaving.
-            inbox.sort_by_key(|e| e.src);
+            self.inboxes[i].sort_by_key(|e| e.src);
             let phase = self.clock[i] % nphases;
             let mut ctx = PhaseCtx::new_for_async(i);
             let t0 = std::time::Instant::now();
-            self.ranks[i].phase(phase, &inbox, &mut ctx);
+            self.ranks[i].phase(phase, &self.inboxes[i], &mut ctx);
+            self.inboxes[i].clear();
             let wall_ns = t0.elapsed().as_nanos() as u64;
             let (outbox, totals) = ctx.into_outbox_and_totals();
             self.stats.msgs_per_rank[i] += totals.msgs;
@@ -249,17 +325,28 @@ impl<A: RankAlgorithm> AsyncExecutor<A> {
     }
 
     /// Ticks until every rank has completed at least `steps` full parallel
-    /// steps (all phases), or `max_ticks` elapses. Returns ticks used.
-    pub fn run_steps(&mut self, steps: usize, max_ticks: usize) -> usize {
+    /// steps (all phases), or `max_ticks` elapses.
+    ///
+    /// `Ok(ticks)` when the goal was reached — including when the final
+    /// permitted tick is the one that gets every clock there — and
+    /// `Err(max_ticks)` on a genuine timeout. (An earlier version returned
+    /// a bare tick count, which made a goal reached exactly on the last
+    /// tick indistinguishable from running out of budget.)
+    pub fn run_steps(&mut self, steps: usize, max_ticks: usize) -> RunStepsResult {
         let nphases = self.ranks[0].phases();
         let goal = steps * nphases;
+        let done = |clock: &[usize]| clock.iter().all(|&c| c >= goal);
         for t in 0..max_ticks {
-            if self.clock.iter().all(|&c| c >= goal) {
-                return t;
+            if done(&self.clock) {
+                return Ok(t);
             }
             self.tick();
         }
-        max_ticks
+        if done(&self.clock) {
+            Ok(max_ticks)
+        } else {
+            Err(max_ticks)
+        }
     }
 }
 
@@ -293,7 +380,9 @@ mod tests {
     fn async_ring_makes_progress_under_lag_bound() {
         let ranks: Vec<Ring> = (0..5).map(|id| Ring { id, n: 5, value: 1 }).collect();
         let mut ex = AsyncExecutor::new(ranks, AsyncOptions::default());
-        let ticks = ex.run_steps(10, 10_000);
+        let ticks = ex
+            .run_steps(10, 10_000)
+            .expect("should reach 10 steps within budget");
         assert!(ticks < 10_000, "should reach 10 steps quickly");
         // Lag bound held throughout (final state check).
         let min = *ex.clocks().iter().min().unwrap();
@@ -316,12 +405,116 @@ mod tests {
         };
         let mut a = mk();
         let mut b = mk();
-        a.run_steps(8, 1000);
-        b.run_steps(8, 1000);
+        a.run_steps(8, 1000).unwrap();
+        b.run_steps(8, 1000).unwrap();
         let va: Vec<u64> = a.ranks().iter().map(|r| r.value).collect();
         let vb: Vec<u64> = b.ranks().iter().map(|r| r.value).collect();
         assert_eq!(va, vb);
         assert_eq!(a.clocks(), b.clocks());
+    }
+
+    /// Regression for the timeout/success conflation: a goal reached
+    /// exactly on the final permitted tick must be `Ok`, and only a budget
+    /// that genuinely falls short is `Err`.
+    #[test]
+    fn run_steps_distinguishes_goal_on_final_tick_from_timeout() {
+        let mk = || {
+            let ranks: Vec<Ring> = (0..4).map(|id| Ring { id, n: 4, value: 1 }).collect();
+            AsyncExecutor::new(ranks, AsyncOptions::default())
+        };
+        // Find the exact tick count this seed needs for 6 full steps.
+        let needed = mk().run_steps(6, 10_000).expect("ample budget");
+        assert!(needed > 0);
+        // A budget of exactly `needed` ticks reaches the goal on its final
+        // tick: success, reported as such.
+        assert_eq!(mk().run_steps(6, needed), Ok(needed));
+        // One tick less genuinely times out.
+        assert_eq!(mk().run_steps(6, needed - 1), Err(needed - 1));
+        // Zero-work goal needs zero ticks regardless of budget.
+        assert_eq!(mk().run_steps(0, 0), Ok(0));
+    }
+
+    /// A rank that counts every message it absorbs: conservation proves the
+    /// inbox buffer delivers each pending put exactly once.
+    struct Counter {
+        id: usize,
+        n: usize,
+        received: u64,
+        sent: u64,
+    }
+
+    impl RankAlgorithm for Counter {
+        type Msg = u64;
+        fn phases(&self) -> usize {
+            1
+        }
+        fn phase(&mut self, _phase: usize, inbox: &[Envelope<u64>], ctx: &mut PhaseCtx<u64>) {
+            self.received += inbox.len() as u64;
+            ctx.put((self.id + 1) % self.n, CommClass::Solve, 1, 8);
+            self.sent += 1;
+        }
+    }
+
+    /// Message flow through the absorb buffer: on a reliable link every
+    /// put is seen by its target exactly once — total received equals
+    /// total sent minus what is still in flight at the end.
+    #[test]
+    fn absorb_buffer_delivers_each_message_exactly_once() {
+        let ranks: Vec<Counter> = (0..5)
+            .map(|id| Counter {
+                id,
+                n: 5,
+                received: 0,
+                sent: 0,
+            })
+            .collect();
+        let mut ex = AsyncExecutor::new(ranks, AsyncOptions::default());
+        ex.run_steps(20, 10_000).unwrap();
+        let sent: u64 = ex.ranks().iter().map(|r| r.sent).sum();
+        let received: u64 = ex.ranks().iter().map(|r| r.received).sum();
+        assert_eq!(
+            received + ex.in_flight() as u64,
+            sent,
+            "each message must be absorbed exactly once (sent {sent}, received {received}, \
+             in flight {})",
+            ex.in_flight()
+        );
+        assert_eq!(ex.stats.total_msgs(), sent);
+    }
+
+    #[test]
+    fn straggler_skew_slows_some_ranks_deterministically() {
+        let opts = AsyncOptions {
+            straggler_skew: 0.9,
+            seed: 7,
+            ..AsyncOptions::default()
+        };
+        let mk = || {
+            let ranks: Vec<Ring> = (0..8).map(|id| Ring { id, n: 8, value: 1 }).collect();
+            AsyncExecutor::new(ranks, opts)
+        };
+        let ex = mk();
+        let ps = ex.advance_probabilities();
+        let lo = ps.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = ps.iter().cloned().fold(0.0, f64::max);
+        assert!(hi - lo > 0.1, "skew 0.9 should spread rank speeds: {ps:?}");
+        assert!(ps.iter().all(|&p| p <= opts.advance_probability + 1e-15));
+        // Deterministic per seed: same draws, same run.
+        let mut a = mk();
+        let mut b = mk();
+        a.run_steps(8, 100_000).unwrap();
+        b.run_steps(8, 100_000).unwrap();
+        let va: Vec<u64> = a.ranks().iter().map(|r| r.value).collect();
+        let vb: Vec<u64> = b.ranks().iter().map(|r| r.value).collect();
+        assert_eq!(va, vb);
+        assert_eq!(a.clocks(), b.clocks());
+        // Zero skew keeps the homogeneous model exactly.
+        let ranks: Vec<Ring> = (0..3).map(|id| Ring { id, n: 3, value: 1 }).collect();
+        let flat = AsyncExecutor::new(ranks, AsyncOptions::default());
+        assert!(flat
+            .advance_probabilities()
+            .iter()
+            .all(|&p| p == AsyncOptions::default().advance_probability));
     }
 
     #[test]
@@ -375,8 +568,8 @@ mod tests {
         };
         let mut a = mk();
         let mut b = mk();
-        a.run_steps(12, 1000);
-        b.run_steps(12, 1000);
+        a.run_steps(12, 1000).unwrap();
+        b.run_steps(12, 1000).unwrap();
         let va: Vec<u64> = a.ranks().iter().map(|r| r.value).collect();
         let vb: Vec<u64> = b.ranks().iter().map(|r| r.value).collect();
         assert_eq!(va, vb, "fault pattern must be deterministic per seed");

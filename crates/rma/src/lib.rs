@@ -36,7 +36,7 @@ pub(crate) mod pool;
 pub mod stats;
 pub mod trace;
 
-pub use async_exec::{AsyncExecutor, AsyncOptions};
+pub use async_exec::{AsyncExecutor, AsyncOptions, RunStepsResult};
 pub use executor::{CloseMode, Envelope, ExecMode, Executor, PhaseCtx, RankAlgorithm};
 pub use fault::{ChaosConfig, Fate, FaultInjector};
 pub use stats::{ClassCounts, CommClass, CostModel, FaultStats, MonitorStats, RunStats, StepStats};

@@ -2,7 +2,7 @@
 //! shared-memory definitions, with each other, and across execution modes.
 
 use distributed_southwell::core::dist::{
-    distribute, gather_r, gather_x, run_method, DistOptions, Method,
+    distribute, gather_r, gather_x, run_method, DistOptions, ExecBackend, Method,
 };
 use distributed_southwell::core::scalar::{self, ScalarOptions};
 use distributed_southwell::partition::{
@@ -132,7 +132,7 @@ fn threaded_execution_is_bit_identical_for_every_method() {
             ..DistOptions::default()
         };
         let thr = DistOptions {
-            exec_mode: ExecMode::Threaded(3),
+            backend: ExecBackend::Superstep(ExecMode::Threaded(3)),
             ..seq
         };
         let r1 = run_method(m, &a, &b, &x0, &part, &seq);

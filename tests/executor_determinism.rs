@@ -16,7 +16,7 @@
 //! DESIGN.md ("Persistent worker pool", "Parallel epoch close").
 
 use distributed_southwell::core::dist::{
-    distribute, run_method, DistOptions, DistributedSouthwellRank, Method, MonitorMode,
+    distribute, run_method, DistOptions, DistributedSouthwellRank, ExecBackend, Method, MonitorMode,
 };
 use distributed_southwell::partition::{partition_multilevel, Graph, MultilevelOptions};
 use distributed_southwell::rma::{
@@ -170,7 +170,7 @@ fn drive_print(
     let opts = DistOptions {
         max_steps: 15,
         target_residual: Some(1e-4),
-        exec_mode: mode,
+        backend: ExecBackend::Superstep(mode),
         close_mode,
         monitor,
         chaos,
