@@ -1,0 +1,94 @@
+//! Coded-straggler-resilience cost of the redundant placement at the
+//! `redundancy` experiment's gate point (`straggler_skew = 0.9`,
+//! `max_lag = 4`): each `r*_run` case times one full `run_method` drive —
+//! replica fan-out, first-arrival-wins reconciliation, logical lag
+//! groups, and the convergence check to ‖r‖₂ ≤ 0.1 — on a §4.2 Poisson
+//! problem.
+//!
+//! Alongside the timings, `record_metric` rows archive the deterministic
+//! outcome of one run per replication factor (scheduler ticks to the
+//! target, redundancy messages, reconciled duplicates). CI's quick mode
+//! reads those rows from `results/BENCH_redundancy.json` and gates on the
+//! tentpole's claim: in the straggler regime the r = 2 placement must
+//! reach the target in fewer ticks than the uncoded run.
+
+use criterion::{criterion_group, criterion_main, record_metric, Criterion};
+use dsw_bench::experiments::redundancy::{GATE_R, LAG, STALL_SKEW, TARGET};
+use dsw_bench::harness::{setup_problem, suite_partition};
+use dsw_core::dist::{run_method, DistOptions, ExecBackend, Method, Redundancy};
+use dsw_rma::AsyncOptions;
+use dsw_sparse::gen;
+
+fn bench_redundancy(c: &mut Criterion) {
+    // 24×24 §4.2 Poisson over 18 ranks: the same construction as the
+    // `async_convergence` bench, driven at the straggler gate point.
+    let g = 24usize;
+    let mut a = gen::grid2d_poisson(g, g);
+    a.scale_unit_diagonal().unwrap();
+    let prob = setup_problem(a, 11);
+    let part = suite_partition(&prob.a, g * g / 32, 1);
+    let opts_for = |r: usize| DistOptions {
+        max_steps: 200,
+        target_residual: Some(TARGET),
+        backend: ExecBackend::Async(AsyncOptions {
+            advance_probability: 0.6,
+            max_lag: LAG,
+            seed: 1,
+            straggler_skew: STALL_SKEW,
+        }),
+        redundancy: Some(Redundancy::new(r)),
+        ..DistOptions::default()
+    };
+
+    let mut group = c.benchmark_group("redundancy");
+    group.sample_size(10);
+    for r in [1usize, GATE_R, 3] {
+        let opts = opts_for(r);
+        // One run outside the timing loop pins the deterministic outcome
+        // the CI gate checks (scheduler and placement are both seeded, so
+        // every iteration below reproduces it bit-for-bit).
+        let rep = run_method(
+            Method::DistributedSouthwell,
+            &prob.a,
+            &prob.b,
+            &prob.x0,
+            &part,
+            &opts,
+        );
+        assert!(
+            rep.converged_at.is_some(),
+            "r = {r} did not reach the target at the straggler gate point"
+        );
+        record_metric(
+            "redundancy",
+            &format!("r{r}_ticks_to_target"),
+            rep.converged_at.unwrap() as f64,
+        );
+        record_metric(
+            "redundancy",
+            &format!("r{r}_msgs_redundancy"),
+            rep.stats.total_msgs_redundancy() as f64,
+        );
+        record_metric(
+            "redundancy",
+            &format!("r{r}_reconciled"),
+            rep.stale_discards as f64,
+        );
+        group.bench_function(&format!("r{r}_run"), |bench| {
+            bench.iter(|| {
+                run_method(
+                    Method::DistributedSouthwell,
+                    &prob.a,
+                    &prob.b,
+                    &prob.x0,
+                    &part,
+                    &opts,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(redundancy, bench_redundancy);
+criterion_main!(redundancy);

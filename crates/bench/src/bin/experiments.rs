@@ -3,7 +3,7 @@
 //! ```text
 //! experiments [--scale F] [--ranks N] [--steps K] [--out DIR] <ids...>
 //!   ids: fig1 fig2 fig5 fig6 table1 table2 table3 table4 fig7 fig8 fig9
-//!        ablation threshold comm chaos async all smoke
+//!        ablation threshold comm chaos async redundancy all smoke
 //! ```
 
 use dsw_bench::experiments::fig2::{run_fig2, run_fig5};
@@ -44,7 +44,7 @@ fn main() {
         eprintln!(
             "usage: experiments [--scale F] [--ranks N] [--steps K] [--out DIR] <ids...>\n\
              ids: fig1 fig2 fig5 fig6 table1 table2 table3 table4 fig7 fig8 fig9\n\
-                  ablation threshold comm chaos async all smoke"
+                  ablation threshold comm chaos async redundancy all smoke"
         );
         std::process::exit(2);
     }
@@ -106,6 +106,9 @@ fn main() {
             }
             "async" => {
                 dsw_bench::experiments::async_convergence::run_async_convergence(&ctx);
+            }
+            "redundancy" => {
+                dsw_bench::experiments::redundancy::run_redundancy(&ctx);
             }
             "all" => {
                 dsw_bench::experiments::fig1::run_fig1(&ctx);
@@ -171,6 +174,7 @@ fn main() {
                 dsw_bench::experiments::comm_pattern::run_comm_pattern(&ctx);
                 dsw_bench::experiments::chaos::run_chaos(&ctx);
                 dsw_bench::experiments::async_convergence::run_async_convergence(&ctx);
+                dsw_bench::experiments::redundancy::run_redundancy(&ctx);
             }
             "smoke" => {
                 let sctx = ExperimentCtx::smoke();

@@ -15,6 +15,7 @@
 //! | ablation | deadlock-avoidance and ghost-refinement ablations     |
 //! | chaos  | DS on an unreliable transport, recovery off vs on       |
 //! | async  | DS vs PS vs BJ on the asynchronous backend (lag × skew) |
+//! | redundancy | coded block placement r ∈ {1,2,3} × straggler skew  |
 
 pub mod ablation;
 pub mod async_convergence;
@@ -24,6 +25,7 @@ pub mod fig1;
 pub mod fig2;
 pub mod fig6;
 pub mod fig7;
+pub mod redundancy;
 pub mod scaling;
 pub mod suite_tables;
 pub mod table1;

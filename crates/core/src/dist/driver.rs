@@ -8,10 +8,10 @@ use super::layout::{distribute, LocalSystem};
 use super::parallel_southwell::ParallelSouthwellRank;
 use super::recovery::Recoverable;
 use crate::history::interpolate_crossing;
-use dsw_partition::Partition;
+use dsw_partition::{Partition, Redundancy, ReplicaMap};
 use dsw_rma::{
     AsyncExecutor, AsyncOptions, ChaosConfig, CloseMode, CostModel, ExecMode, Executor,
-    MonitorStats, RankAlgorithm, RunStats,
+    MonitorStats, RankAlgorithm, RedundantHost, RunStats,
 };
 use dsw_sparse::CsrMatrix;
 use std::time::Instant;
@@ -155,6 +155,16 @@ pub struct DistOptions {
     /// How the global residual norm is obtained between steps
     /// (incremental by default; see [`MonitorMode`]).
     pub monitor: MonitorMode,
+    /// Redundancy-coded block placement: `Some(r)` hosts every block on
+    /// `r` ranks (replica sets derived deterministically from the
+    /// placement seed; see [`dsw_partition::ReplicaMap`]), routes every
+    /// logical message to all hosts with first-arrival-wins
+    /// reconciliation, and treats a replica set as one logical owner in
+    /// the solver protocol. `None` (default) and `Some(r = 1)` are the
+    /// uncoded identity placement (`r = 1` still validates the factor).
+    /// Extra replica traffic is accounted under
+    /// [`dsw_rma::CommClass::Redundancy`].
+    pub redundancy: Option<Redundancy>,
 }
 
 impl Default for DistOptions {
@@ -169,6 +179,7 @@ impl Default for DistOptions {
             divergence_cutoff: Some(1e12),
             chaos: ChaosConfig::none(),
             monitor: MonitorMode::default(),
+            redundancy: None,
         }
     }
 }
@@ -287,6 +298,163 @@ impl<'a> Monitor<'a> {
             }
         }
     }
+
+    /// View-based [`Monitor::maintained`]: the drive loops read global
+    /// state through a [`NormView`], so the uncoded run (one block per
+    /// rank) and a redundancy-coded run (one representative per replica
+    /// set) share one loop body and one accounting path.
+    fn maintained_view<R: RankAlgorithm>(
+        &mut self,
+        ranks: &[R],
+        view: &impl NormView<R>,
+    ) -> Option<MaintainedNorm> {
+        let t0 = Instant::now();
+        let (norm_sq, slack_sq) = view.maintained_sums(ranks)?;
+        self.stats.evals += 1;
+        self.stats.eval_ns += t0.elapsed().as_nanos() as u64;
+        Some(MaintainedNorm {
+            norm: norm_sq.sqrt(),
+            slack: slack_sq.sqrt(),
+        })
+    }
+
+    /// View-based [`Monitor::exact`].
+    fn exact_view<R: RankAlgorithm>(&mut self, ranks: &[R], view: &impl NormView<R>) -> f64 {
+        let t0 = Instant::now();
+        view.scatter_into(ranks, &mut self.x);
+        self.a.spmv(&self.x, &mut self.ax);
+        let norm_sq: f64 = self
+            .b
+            .iter()
+            .zip(&self.ax)
+            .map(|(&b, &ax)| {
+                let d = b - ax;
+                d * d
+            })
+            .sum();
+        self.stats.verifications += 1;
+        self.stats.verify_ns += t0.elapsed().as_nanos() as u64;
+        norm_sq.sqrt()
+    }
+
+    /// View-based [`Monitor::gather`].
+    fn gather_view<R: RankAlgorithm>(&mut self, ranks: &[R], view: &impl NormView<R>) -> Vec<f64> {
+        view.scatter_into(ranks, &mut self.x);
+        self.x.clone()
+    }
+}
+
+/// How a drive loop reads global solver state out of a rank set: each
+/// logical block contributes exactly once, whatever the physical hosting.
+///
+/// The uncoded [`DirectView`] is the identity (rank = block). The coded
+/// [`ReplicaView`] reads each block from its freshest replica and declares
+/// the replica sets as scheduler lag groups.
+trait NormView<R: RankAlgorithm> {
+    /// Writes every global row's current value into `x` (each logical
+    /// block exactly once).
+    fn scatter_into(&self, ranks: &[R], x: &mut [f64]);
+
+    /// `(Σ norm², Σ slack²)` over logical blocks — the inputs of
+    /// [`MaintainedNorm`] — or `None` if the algorithm maintains no norms.
+    fn maintained_sums(&self, ranks: &[R]) -> Option<(f64, f64)>;
+
+    /// Lag groups for the asynchronous scheduler: ranks hosting a common
+    /// block progress as one logical owner, so a replica-covered straggler
+    /// stops gating the lag bound. `None` keeps per-rank gating.
+    fn lag_groups(&self) -> Option<Vec<Vec<u32>>> {
+        None
+    }
+}
+
+/// The uncoded identity view: one block per rank, read via the solver's
+/// `local_of` projection.
+struct DirectView<F>(F);
+
+impl<R, F> NormView<R> for DirectView<F>
+where
+    R: RankAlgorithm,
+    F: Fn(&R) -> &LocalSystem,
+{
+    fn scatter_into(&self, ranks: &[R], x: &mut [f64]) {
+        for r in ranks {
+            let ls = (self.0)(r);
+            for (li, &g) in ls.rows.iter().enumerate() {
+                x[g] = ls.x[li];
+            }
+        }
+    }
+
+    fn maintained_sums(&self, ranks: &[R]) -> Option<(f64, f64)> {
+        let mut norm_sq = 0.0;
+        let mut slack_sq = 0.0;
+        for r in ranks {
+            norm_sq += r.maintained_norm_sq()?;
+            slack_sq += r.undelivered_delta_sq();
+        }
+        Some((norm_sq, slack_sq))
+    }
+}
+
+/// The coded view over [`RedundantHost`] ranks: block `b` is read from
+/// its *representative* — the furthest-along host (first on ties, so
+/// lock-step runs always read the primary). Every replica holds a valid
+/// estimate state; the representative is simply the freshest one, which is
+/// exactly the first-arrival semantics the message plane uses.
+struct ReplicaView<F> {
+    /// Hosts per logical block, primary first.
+    replicas: Vec<Vec<usize>>,
+    /// Projects the inner solver to its local system.
+    local_of: F,
+}
+
+impl<F> ReplicaView<F> {
+    fn representative<A: RankAlgorithm>(&self, ranks: &[RedundantHost<A>], b: usize) -> usize {
+        let mut best = self.replicas[b][0];
+        for &h in &self.replicas[b][1..] {
+            if ranks[h].clock() > ranks[best].clock() {
+                best = h;
+            }
+        }
+        best
+    }
+}
+
+impl<A, F> NormView<RedundantHost<A>> for ReplicaView<F>
+where
+    A: RankAlgorithm,
+    F: Fn(&A) -> &LocalSystem,
+{
+    fn scatter_into(&self, ranks: &[RedundantHost<A>], x: &mut [f64]) {
+        for b in 0..self.replicas.len() {
+            let h = self.representative(ranks, b);
+            let ls = (self.local_of)(ranks[h].solver_for(b).expect("host carries its block"));
+            for (li, &g) in ls.rows.iter().enumerate() {
+                x[g] = ls.x[li];
+            }
+        }
+    }
+
+    fn maintained_sums(&self, ranks: &[RedundantHost<A>]) -> Option<(f64, f64)> {
+        let mut norm_sq = 0.0;
+        let mut slack_sq = 0.0;
+        for b in 0..self.replicas.len() {
+            let h = self.representative(ranks, b);
+            let sv = ranks[h].solver_for(b).expect("host carries its block");
+            norm_sq += sv.maintained_norm_sq()?;
+            slack_sq += sv.undelivered_delta_sq();
+        }
+        Some((norm_sq, slack_sq))
+    }
+
+    fn lag_groups(&self) -> Option<Vec<Vec<u32>>> {
+        Some(
+            self.replicas
+                .iter()
+                .map(|hs| hs.iter().map(|&h| h as u32).collect())
+                .collect(),
+        )
+    }
 }
 
 /// One row of the per-step record (all counters cumulative).
@@ -306,6 +474,9 @@ pub struct StepRecord {
     pub msgs_residual: u64,
     /// Cumulative recovery messages (audits, watchdog rebroadcasts).
     pub msgs_recovery: u64,
+    /// Cumulative redundancy messages (replica fan-out copies of coded
+    /// placements; zero on uncoded runs).
+    pub msgs_redundancy: u64,
     /// Cumulative modelled payload bytes (all classes).
     pub bytes: u64,
     /// Cumulative solve-class payload bytes.
@@ -314,6 +485,8 @@ pub struct StepRecord {
     pub bytes_residual: u64,
     /// Cumulative recovery payload bytes.
     pub bytes_recovery: u64,
+    /// Cumulative redundancy payload bytes (replica fan-out copies).
+    pub bytes_redundancy: u64,
     /// Cumulative modelled wall-clock seconds.
     pub time: f64,
     /// Ranks that relaxed in this step.
@@ -397,6 +570,18 @@ impl DistReport {
         self.records.last().unwrap().bytes_recovery as f64 / self.nranks as f64
     }
 
+    /// Redundancy payload volume per rank, bytes (replica fan-out copies;
+    /// zero on uncoded runs).
+    pub fn byte_cost_redundancy(&self) -> f64 {
+        self.records.last().unwrap().bytes_redundancy as f64 / self.nranks as f64
+    }
+
+    /// Redundancy messages per rank (the coded placement's overhead in the
+    /// paper's communication metric).
+    pub fn comm_cost_redundancy(&self) -> f64 {
+        self.records.last().unwrap().msgs_redundancy as f64 / self.nranks as f64
+    }
+
     /// Mean fraction of active ranks per executed step.
     pub fn active_fraction(&self) -> f64 {
         let steps = self.records.len() - 1;
@@ -464,6 +649,19 @@ pub fn run_method(
     partition: &Partition,
     opts: &DistOptions,
 ) -> DistReport {
+    if let Some(red) = opts.redundancy {
+        let map = ReplicaMap::try_new(partition.nparts(), red)
+            .unwrap_or_else(|e| panic!("DistOptions::redundancy: {e}"));
+        if map.r() > 1 {
+            return run_method_redundant(method, a, b, x0, partition, opts, &map);
+        }
+        // `r = 1` is the identity placement: run the uncoded path. The
+        // wrapper at r = 1 would be message-for-message identical except
+        // that its slot reconciliation absorbs chaos *duplicates* before
+        // the solver's own sequencing sees them — so the uncoded path is
+        // the one that keeps `Some(Redundancy::new(1))` bit-identical to
+        // `None` under every chaos mix.
+    }
     let locals = distribute(a, b, x0, partition).expect("valid distribution");
     let norms: Vec<f64> = locals.iter().map(|l| l.residual_norm_sq()).collect();
     match method {
@@ -493,6 +691,126 @@ pub fn run_method(
     }
 }
 
+/// The redundancy-coded run: builds `r` bit-identical solver sets, deals
+/// each block's instances out to its replica hosts, and drives the
+/// [`RedundantHost`] wrappers through the standard loops with a
+/// [`ReplicaView`].
+fn run_method_redundant(
+    method: Method,
+    a: &CsrMatrix,
+    b: &[f64],
+    x0: &[f64],
+    partition: &Partition,
+    opts: &DistOptions,
+    map: &ReplicaMap,
+) -> DistReport {
+    match method {
+        Method::BlockJacobi => drive_redundant(
+            method,
+            a,
+            b,
+            opts,
+            map,
+            |locals| BlockJacobiRank::build_with_solver(locals, opts.ds_config.local_solver),
+            |r: &BlockJacobiRank| &r.ls,
+            || distribute(a, b, x0, partition).expect("valid distribution"),
+        ),
+        Method::ParallelSouthwell | Method::ParallelSouthwellPiggybackOnly => {
+            let explicit = method == Method::ParallelSouthwell;
+            drive_redundant(
+                method,
+                a,
+                b,
+                opts,
+                map,
+                |locals| {
+                    let norms: Vec<f64> = locals.iter().map(|l| l.residual_norm_sq()).collect();
+                    ParallelSouthwellRank::build_cfg(
+                        locals,
+                        &norms,
+                        explicit,
+                        opts.ds_config.local_solver,
+                    )
+                },
+                |r: &ParallelSouthwellRank| &r.ls,
+                || distribute(a, b, x0, partition).expect("valid distribution"),
+            )
+        }
+        Method::DistributedSouthwell => {
+            let r0 = a.residual(b, x0);
+            drive_redundant(
+                method,
+                a,
+                b,
+                opts,
+                map,
+                |locals| {
+                    let norms: Vec<f64> = locals.iter().map(|l| l.residual_norm_sq()).collect();
+                    DistributedSouthwellRank::build_with(locals, &norms, &r0, opts.ds_config)
+                },
+                |r: &DistributedSouthwellRank| &r.ls,
+                || distribute(a, b, x0, partition).expect("valid distribution"),
+            )
+        }
+    }
+}
+
+/// Assembles and drives the coded rank set for one solver type.
+///
+/// Every replica of a block must start from identical state, so `r` full
+/// solver sets are built from `r` identical distributions; block `b`'s
+/// `j`-th replica instance goes to host `map.hosts_of(b)[j]`. The DS
+/// deadlock-avoidance protocol needs no changes: the wrapper translates
+/// physical ↔ logical addresses, so Γ̃-set negotiation and recovery audits
+/// run purely in logical block space and see a replica set as one owner.
+#[allow(clippy::too_many_arguments)]
+fn drive_redundant<R, F, G, D>(
+    method: Method,
+    a: &CsrMatrix,
+    b: &[f64],
+    opts: &DistOptions,
+    map: &ReplicaMap,
+    build: F,
+    local_of: G,
+    distribute_once: D,
+) -> DistReport
+where
+    R: RankAlgorithm + Recoverable,
+    RedundantHost<R>: Recoverable,
+    F: Fn(Vec<LocalSystem>) -> Vec<R>,
+    G: Fn(&R) -> &LocalSystem,
+    D: Fn() -> Vec<LocalSystem>,
+{
+    let nblocks = map.nblocks();
+    let mut sets: Vec<Vec<Option<R>>> = (0..map.r())
+        .map(|_| build(distribute_once()).into_iter().map(Some).collect())
+        .collect();
+    let mut per_host: Vec<Vec<(usize, R)>> = (0..nblocks).map(|_| Vec::new()).collect();
+    for (b_id, hosts) in (0..nblocks).map(|b| (b, map.hosts_of(b))) {
+        for (j, &h) in hosts.iter().enumerate() {
+            per_host[h].push((
+                b_id,
+                sets[j][b_id].take().expect("each instance dealt once"),
+            ));
+        }
+    }
+    let replicas_u32: Vec<Vec<u32>> = map
+        .replicas()
+        .iter()
+        .map(|hs| hs.iter().map(|&h| h as u32).collect())
+        .collect();
+    let hosts: Vec<RedundantHost<R>> = per_host
+        .into_iter()
+        .enumerate()
+        .map(|(p, solvers)| RedundantHost::new(p, replicas_u32.clone(), solvers))
+        .collect();
+    let view = ReplicaView {
+        replicas: map.replicas().to_vec(),
+        local_of,
+    };
+    drive_view(method, hosts, &view, a, b, opts)
+}
+
 /// The generic run loop over any solver rank type, on either substrate
 /// ([`DistOptions::backend`]).
 ///
@@ -514,9 +832,25 @@ pub fn drive<R>(
 where
     R: RankAlgorithm + Recoverable,
 {
+    drive_view(method, ranks, &DirectView(local_of), a, b, opts)
+}
+
+/// The backend dispatch over an arbitrary state view (uncoded or coded).
+fn drive_view<R, V>(
+    method: Method,
+    ranks: Vec<R>,
+    view: &V,
+    a: &CsrMatrix,
+    b: &[f64],
+    opts: &DistOptions,
+) -> DistReport
+where
+    R: RankAlgorithm + Recoverable,
+    V: NormView<R>,
+{
     match opts.backend {
-        ExecBackend::Superstep(mode) => drive_superstep(method, ranks, local_of, a, b, opts, mode),
-        ExecBackend::Async(aopts) => drive_async(method, ranks, local_of, a, b, opts, aopts),
+        ExecBackend::Superstep(mode) => drive_superstep(method, ranks, view, a, b, opts, mode),
+        ExecBackend::Async(aopts) => drive_async(method, ranks, view, a, b, opts, aopts),
     }
 }
 
@@ -530,10 +864,12 @@ fn initial_record(initial: f64) -> StepRecord {
         msgs_solve: 0,
         msgs_residual: 0,
         msgs_recovery: 0,
+        msgs_redundancy: 0,
         bytes: 0,
         bytes_solve: 0,
         bytes_residual: 0,
         bytes_recovery: 0,
+        bytes_redundancy: 0,
         time: 0.0,
         active_ranks: 0,
         compute_ns: 0,
@@ -559,10 +895,12 @@ fn push_record(
         msgs_solve: prev.msgs_solve + s.msgs_solve,
         msgs_residual: prev.msgs_residual + s.msgs_residual,
         msgs_recovery: prev.msgs_recovery + s.msgs_recovery,
+        msgs_redundancy: prev.msgs_redundancy + s.msgs_redundancy,
         bytes: prev.bytes + s.bytes,
         bytes_solve: prev.bytes_solve + s.bytes_solve,
         bytes_residual: prev.bytes_residual + s.bytes_residual,
         bytes_recovery: prev.bytes_recovery + s.bytes_recovery,
+        bytes_redundancy: prev.bytes_redundancy + s.bytes_redundancy,
         time: prev.time + s.time,
         active_ranks: s.active_ranks,
         compute_ns: prev.compute_ns + s.compute_ns,
@@ -580,7 +918,7 @@ fn push_record(
 fn measure_boundary<R: RankAlgorithm>(
     monitor: &mut Monitor,
     ranks: &[R],
-    local_of: &impl Fn(&R) -> &LocalSystem,
+    view: &impl NormView<R>,
     opts: &DistOptions,
     initial: f64,
     boundary: usize,
@@ -588,8 +926,8 @@ fn measure_boundary<R: RankAlgorithm>(
     last: bool,
 ) -> (f64, bool) {
     match opts.monitor {
-        MonitorMode::Exact => (monitor.exact(ranks, local_of), true),
-        MonitorMode::Maintained { verify_every } => match monitor.maintained(ranks) {
+        MonitorMode::Exact => (monitor.exact_view(ranks, view), true),
+        MonitorMode::Maintained { verify_every } => match monitor.maintained_view(ranks, view) {
             Some(m) => {
                 let due = verify_every > 0 && boundary.is_multiple_of(verify_every);
                 // Trigger on a *possible* convergence claim: on a
@@ -605,7 +943,7 @@ fn measure_boundary<R: RankAlgorithm>(
                         .divergence_cutoff
                         .is_some_and(|cut| m.norm > cut * initial.max(1e-300));
                 if due || claims_convergence || claims_divergence || idle || last {
-                    let e = monitor.exact(ranks, local_of);
+                    let e = monitor.exact_view(ranks, view);
                     monitor.stats.record_drift(e, m.norm);
                     (e, true)
                 } else {
@@ -613,16 +951,16 @@ fn measure_boundary<R: RankAlgorithm>(
                 }
             }
             // The algorithm maintains no norms: fall back to exact.
-            None => (monitor.exact(ranks, local_of), true),
+            None => (monitor.exact_view(ranks, view), true),
         },
     }
 }
 
 /// The lock-step run loop (the original `drive` body).
-fn drive_superstep<R>(
+fn drive_superstep<R, V>(
     method: Method,
     ranks: Vec<R>,
-    local_of: impl Fn(&R) -> &LocalSystem,
+    view: &V,
     a: &CsrMatrix,
     b: &[f64],
     opts: &DistOptions,
@@ -630,6 +968,7 @@ fn drive_superstep<R>(
 ) -> DistReport
 where
     R: RankAlgorithm + Recoverable,
+    V: NormView<R>,
 {
     let n = a.nrows();
     let nranks = ranks.len();
@@ -638,7 +977,7 @@ where
     let mut monitor = Monitor::new(a, b);
 
     // The initial state is measured exactly in both modes (one-time cost).
-    let initial = monitor.exact(ex.ranks(), &local_of);
+    let initial = monitor.exact_view(ex.ranks(), view);
     let mut records = vec![initial_record(initial)];
     let mut converged_at = None;
     let mut deadlocked = false;
@@ -658,7 +997,7 @@ where
         let (norm, verified) = measure_boundary(
             &mut monitor,
             ex.ranks(),
-            &local_of,
+            view,
             opts,
             initial,
             step,
@@ -712,7 +1051,7 @@ where
         }
     }
 
-    let x = monitor.gather(ex.ranks(), &local_of);
+    let x = monitor.gather_view(ex.ranks(), view);
     ex.stats.monitor = monitor.stats;
     let drift_repairs = ex.ranks().iter().map(|r| r.drift_repairs()).sum();
     let stale_discards = ex.ranks().iter().map(|r| r.stale_discards()).sum();
@@ -753,10 +1092,10 @@ where
 /// superstep idle guarantee verbatim: each rank ran all its phases on
 /// empty inboxes and neither relaxed nor sent, so rerunning them can only
 /// repeat the silence.
-fn drive_async<R>(
+fn drive_async<R, V>(
     method: Method,
     ranks: Vec<R>,
-    local_of: impl Fn(&R) -> &LocalSystem,
+    view: &V,
     a: &CsrMatrix,
     b: &[f64],
     opts: &DistOptions,
@@ -764,6 +1103,7 @@ fn drive_async<R>(
 ) -> DistReport
 where
     R: RankAlgorithm + Recoverable,
+    V: NormView<R>,
 {
     let n = a.nrows();
     let nranks = ranks.len();
@@ -772,9 +1112,15 @@ where
         Ok(ex) => ex,
         Err(e) => panic!("ExecBackend::Async: {e}"),
     };
+    // Under a coded placement the replica sets progress as logical owners:
+    // the lag bound and the run goal track each block's freshest replica,
+    // so a replica-covered straggler no longer gates the whole run.
+    if let Some(groups) = view.lag_groups() {
+        ex.set_lag_groups(groups);
+    }
     let mut monitor = Monitor::new(a, b);
 
-    let initial = monitor.exact(ex.ranks(), &local_of);
+    let initial = monitor.exact_view(ex.ranks(), view);
     let mut records = vec![initial_record(initial)];
     let mut converged_at = None;
     let mut deadlocked = false;
@@ -782,23 +1128,23 @@ where
     let mut watchdog_nudges = 0u64;
     let mut nudges_since_relax = 0u32;
 
-    // Clock goal: the slowest rank completes `max_steps` full steps.
+    // Clock goal: the slowest logical owner completes `max_steps` full
+    // steps (per-rank clocks without lag groups, per-replica-set freshest
+    // clocks with them).
     let goal = opts.max_steps * nphases;
-    // Tick budget: expected ticks to the goal are `goal / p_min`; eight
-    // times that (plus slack for tiny runs) is unreachable unless the
-    // scheduler genuinely cannot make progress.
-    let p_min = ex
-        .advance_probabilities()
-        .iter()
-        .fold(f64::INFINITY, |m, &p| m.min(p))
-        .max(1e-3);
+    // Tick budget: expected ticks to the goal are `goal / p`, where `p` is
+    // the pacing probability of the slowest logical owner; eight times
+    // that (plus slack for tiny runs) is unreachable unless the scheduler
+    // genuinely cannot make progress.
+    let p_min = ex.pacing_probability().max(1e-3);
     let budget = ((goal as f64 / p_min) * 8.0).ceil() as usize + 64;
 
     // Sweep-window accumulators for freeze detection; the window closes
-    // when every rank has advanced `nphases` clocks past its checkpoint.
+    // when every logical owner has advanced `nphases` clocks past its
+    // checkpoint.
     let mut window_relax = 0u64;
     let mut window_msgs = 0u64;
-    let mut window_start: Vec<usize> = ex.clocks().to_vec();
+    let mut window_start: Vec<usize> = ex.logical_clocks();
 
     for tick in 1..=budget {
         ex.tick();
@@ -806,24 +1152,24 @@ where
         window_relax += s.relaxations;
         window_msgs += s.msgs;
 
-        let swept = ex
-            .clocks()
+        let clocks = ex.logical_clocks();
+        let swept = clocks
             .iter()
             .zip(&window_start)
             .all(|(&c, &from)| c - from >= nphases);
         let mut idle = false;
         if swept {
             idle = window_relax == 0 && window_msgs == 0 && ex.in_flight() == 0;
-            window_start.copy_from_slice(ex.clocks());
+            window_start = clocks.clone();
             window_relax = 0;
             window_msgs = 0;
         }
-        let last = tick == budget || ex.clocks().iter().all(|&c| c >= goal);
+        let last = tick == budget || clocks.iter().all(|&c| c >= goal);
 
         let (norm, verified) = measure_boundary(
             &mut monitor,
             ex.ranks(),
-            &local_of,
+            view,
             opts,
             initial,
             tick,
@@ -875,7 +1221,7 @@ where
         }
     }
 
-    let x = monitor.gather(ex.ranks(), &local_of);
+    let x = monitor.gather_view(ex.ranks(), view);
     ex.stats.monitor = monitor.stats;
     let drift_repairs = ex.ranks().iter().map(|r| r.drift_repairs()).sum();
     let stale_discards = ex.ranks().iter().map(|r| r.stale_discards()).sum();
@@ -990,14 +1336,18 @@ mod tests {
         let last = rep.records.last().unwrap();
         assert_eq!(
             last.msgs,
-            last.msgs_solve + last.msgs_residual + last.msgs_recovery
+            last.msgs_solve + last.msgs_residual + last.msgs_recovery + last.msgs_redundancy
         );
         assert_eq!(rep.stats.total_msgs(), last.msgs);
         assert_eq!(
             last.bytes,
-            last.bytes_solve + last.bytes_residual + last.bytes_recovery
+            last.bytes_solve + last.bytes_residual + last.bytes_recovery + last.bytes_redundancy
         );
         assert_eq!(rep.stats.total_bytes(), last.bytes);
+        assert_eq!(
+            last.msgs_redundancy, 0,
+            "uncoded runs have no redundancy traffic"
+        );
         assert!(last.bytes > 0, "messages carry payload bytes");
         assert!((rep.byte_cost() - last.bytes as f64 / rep.nranks as f64).abs() < 1e-12);
         assert!((rep.stats.total_time() - last.time).abs() < 1e-12);
@@ -1108,7 +1458,7 @@ mod tests {
             assert!(last.bytes > 0);
             assert_eq!(
                 last.msgs,
-                last.msgs_solve + last.msgs_residual + last.msgs_recovery
+                last.msgs_solve + last.msgs_residual + last.msgs_recovery + last.msgs_redundancy
             );
             assert_eq!(rep.stats.total_msgs(), last.msgs);
             let mon = rep.monitor_stats();
@@ -1148,16 +1498,198 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "stall")]
-    fn async_backend_rejects_stall_injection() {
+    fn async_backend_accepts_stall_injection() {
+        // Tick-window stalls on the async backend: accepted (they freeze
+        // whole scheduler windows), counted, and deterministic per seed.
         let (a, b, x0, part) = poisson_setup(12, 12, 4);
         let opts = DistOptions {
+            max_steps: 120,
             backend: ExecBackend::Async(AsyncOptions::default()),
             chaos: ChaosConfig {
                 stall_rate: 0.2,
                 stall_steps: 2,
+                seed: 9,
                 ..ChaosConfig::none()
             },
+            ..DistOptions::default()
+        };
+        let r1 = run_method(Method::DistributedSouthwell, &a, &b, &x0, &part, &opts);
+        let r2 = run_method(Method::DistributedSouthwell, &a, &b, &x0, &part, &opts);
+        assert_eq!(r1.x, r2.x);
+        assert_eq!(r1.converged_at, r2.converged_at);
+        assert!(
+            r1.stats.total_faults().stalled_ranks > 0,
+            "stall windows must be drawn and counted"
+        );
+        assert!(!r1.deadlocked && !r1.diverged);
+    }
+
+    /// A coded placement on the lock-step backend: converges, pays a
+    /// visible redundancy overhead in its own comm class, reconciles every
+    /// extra copy exactly, and stays bit-identical per seed.
+    #[test]
+    fn redundant_superstep_converges_with_accounted_overhead() {
+        let (a, b, x0, part) = poisson_setup(16, 16, 6);
+        let base = DistOptions {
+            max_steps: 80,
+            ..DistOptions::default()
+        };
+        let uncoded = run_method(Method::DistributedSouthwell, &a, &b, &x0, &part, &base);
+        for r in [2, 3] {
+            let opts = DistOptions {
+                redundancy: Some(Redundancy::new(r)),
+                ..base
+            };
+            let rep = run_method(Method::DistributedSouthwell, &a, &b, &x0, &part, &opts);
+            assert!(
+                rep.converged_at.is_some(),
+                "r = {r} failed: final {}",
+                rep.final_residual()
+            );
+            let last = rep.records.last().unwrap();
+            assert!(last.msgs_redundancy > 0, "replica fan-out must be counted");
+            assert!(last.bytes_redundancy > 0);
+            assert_eq!(
+                last.msgs,
+                last.msgs_solve + last.msgs_residual + last.msgs_recovery + last.msgs_redundancy
+            );
+            assert_eq!(
+                last.bytes,
+                last.bytes_solve
+                    + last.bytes_residual
+                    + last.bytes_recovery
+                    + last.bytes_redundancy
+            );
+            assert!(rep.byte_cost_redundancy() > 0.0);
+            assert!(
+                rep.stale_discards > 0,
+                "first-arrival reconciliation must discard replica copies"
+            );
+            // Lock-step replicas are bit-identical, so the representative
+            // solution is exactly the uncoded one and convergence lands on
+            // the same step.
+            assert_eq!(rep.x, uncoded.x, "r = {r}");
+            assert_eq!(rep.converged_at, uncoded.converged_at);
+            // Same seed ⇒ same report, for every r.
+            let again = run_method(Method::DistributedSouthwell, &a, &b, &x0, &part, &opts);
+            assert_eq!(rep.x, again.x);
+            assert_eq!(
+                rep.records.last().unwrap().msgs,
+                again.records.last().unwrap().msgs
+            );
+        }
+    }
+
+    /// `Some(Redundancy::new(1))` is the identity placement and must stay
+    /// bit-identical to `None` — including under chaos, where the r = 1
+    /// dispatch keeps chaos duplicates visible to the solver's sequencing.
+    #[test]
+    fn redundancy_r1_is_bit_identical_to_uncoded() {
+        let (a, b, x0, part) = poisson_setup(12, 12, 4);
+        for chaos in [
+            ChaosConfig::none(),
+            ChaosConfig {
+                drop_rate: 0.1,
+                duplicate_rate: 0.1,
+                seed: 3,
+                ..ChaosConfig::none()
+            },
+        ] {
+            let base = DistOptions {
+                max_steps: 40,
+                chaos,
+                ds_config: DsConfig {
+                    recovery: crate::dist::RecoveryConfig::standard(),
+                    ..DsConfig::default()
+                },
+                ..DistOptions::default()
+            };
+            let coded = DistOptions {
+                redundancy: Some(Redundancy::new(1)),
+                ..base
+            };
+            let r1 = run_method(Method::DistributedSouthwell, &a, &b, &x0, &part, &base);
+            let r2 = run_method(Method::DistributedSouthwell, &a, &b, &x0, &part, &coded);
+            assert_eq!(r1.x, r2.x);
+            // Deterministic record fields only (`compute_ns` / `imbalance`
+            // are measured wall-time observables).
+            let key = |rep: &DistReport| {
+                rep.records
+                    .iter()
+                    .map(|r| {
+                        (
+                            r.step,
+                            r.residual_norm.to_bits(),
+                            r.relaxations,
+                            r.msgs,
+                            r.msgs_solve,
+                            r.msgs_residual,
+                            r.msgs_recovery,
+                            r.msgs_redundancy,
+                            r.bytes,
+                            r.active_ranks,
+                        )
+                    })
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(key(&r1), key(&r2));
+            assert_eq!(r1.converged_at, r2.converged_at);
+        }
+    }
+
+    /// Coded placements on the async backend: all methods converge, the
+    /// run is deterministic per seed, and with replica lag groups a
+    /// heavily skewed straggler no longer stalls the run.
+    #[test]
+    fn redundant_async_converges_and_is_deterministic() {
+        let (a, b, x0, part) = poisson_setup(16, 16, 6);
+        let opts = DistOptions {
+            max_steps: 200,
+            backend: ExecBackend::Async(AsyncOptions {
+                advance_probability: 0.6,
+                max_lag: 6,
+                seed: 5,
+                straggler_skew: 0.7,
+            }),
+            redundancy: Some(Redundancy::new(2)),
+            ..DistOptions::default()
+        };
+        for m in [
+            Method::BlockJacobi,
+            Method::ParallelSouthwell,
+            Method::DistributedSouthwell,
+        ] {
+            let rep = run_method(m, &a, &b, &x0, &part, &opts);
+            assert!(
+                rep.converged_at.is_some(),
+                "{} (r = 2, async) failed: final {}",
+                m.label(),
+                rep.final_residual()
+            );
+            assert!(!rep.deadlocked && !rep.diverged);
+            assert!(rep.records.last().unwrap().msgs_redundancy > 0);
+            let again = run_method(m, &a, &b, &x0, &part, &opts);
+            assert_eq!(rep.x, again.x, "{}", m.label());
+            assert_eq!(rep.converged_at, again.converged_at);
+            // The final record is exact for the representative solution.
+            let true_norm = dsw_sparse::vecops::norm2(&a.residual(&b, &rep.x));
+            assert!(
+                (true_norm - rep.final_residual()).abs() <= 1e-12 * true_norm.max(1.0),
+                "{}: final record {} vs true {}",
+                m.label(),
+                rep.final_residual(),
+                true_norm
+            );
+        }
+    }
+
+    /// Degenerate redundancy factors fail fast with the partition error.
+    #[test]
+    #[should_panic(expected = "redundancy")]
+    fn invalid_redundancy_factor_panics_with_clear_message() {
+        let (a, b, x0, part) = poisson_setup(12, 12, 4);
+        let opts = DistOptions {
+            redundancy: Some(Redundancy::new(9)),
             ..DistOptions::default()
         };
         run_method(Method::DistributedSouthwell, &a, &b, &x0, &part, &opts);

@@ -36,3 +36,8 @@ pub use msg::{DistMsg, SeqMsg};
 pub use parallel_southwell::ParallelSouthwellRank;
 pub use recovery::{Recoverable, RecoveryConfig};
 pub use seq::{SeqIn, SeqVerdict};
+
+/// Re-exported so callers can request a coded placement
+/// ([`DistOptions::redundancy`](driver::DistOptions)) without depending on
+/// `dsw-partition` directly.
+pub use dsw_partition::{Redundancy, ReplicaMap};

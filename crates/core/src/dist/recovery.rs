@@ -104,6 +104,32 @@ pub trait Recoverable {
     }
 }
 
+/// A redundancy-coded host participates in recovery through its hosted
+/// solver instances: a nudge fans out to every instance (any reaction
+/// counts), and the counters sum physical events across instances — plus,
+/// for `stale_discards`, the duplicates the wrapper's first-arrival
+/// reconciliation itself discarded.
+impl<A> Recoverable for dsw_rma::RedundantHost<A>
+where
+    A: dsw_rma::RankAlgorithm + Recoverable,
+{
+    fn nudge(&mut self) -> bool {
+        let mut any = false;
+        for (_, solver) in self.solvers_mut() {
+            any |= solver.nudge();
+        }
+        any
+    }
+
+    fn drift_repairs(&self) -> u64 {
+        self.solvers().map(|(_, s)| s.drift_repairs()).sum()
+    }
+
+    fn stale_discards(&self) -> u64 {
+        self.reconciled() + self.solvers().map(|(_, s)| s.stale_discards()).sum::<u64>()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

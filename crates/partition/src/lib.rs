@@ -13,14 +13,20 @@
 //!   (contiguous row blocks), [`partition_greedy_growing`] (BFS region
 //!   growing), and [`partition_multilevel`] — a METIS-style multilevel
 //!   scheme (heavy-edge matching coarsening, greedy initial partition,
-//!   boundary Kernighan–Lin/FM refinement on every level).
+//!   boundary Kernighan–Lin/FM refinement on every level),
+//! * [`Redundancy`] / [`ReplicaMap`] — deterministic redundancy-coded
+//!   block placement (each block hosted by `r` ranks) for straggler
+//!   resilience, with [`PartitionError`] covering degenerate requests.
 
 pub mod coloring;
 pub mod graph;
 pub mod partitioner;
+pub mod redundancy;
 
 pub use coloring::{greedy_coloring_bfs, Coloring};
 pub use graph::Graph;
 pub use partitioner::{
-    partition_greedy_growing, partition_multilevel, partition_strip, MultilevelOptions, Partition,
+    partition_greedy_growing, partition_multilevel, partition_strip, try_partition_strip,
+    MultilevelOptions, Partition, PartitionError,
 };
+pub use redundancy::{Redundancy, ReplicaMap};

@@ -6,6 +6,68 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
+/// Why a partition (or a coded placement over one) is unusable, reported
+/// as a value instead of a panic so drivers can surface configuration
+/// mistakes cleanly (degenerate block counts, zero-row blocks, replica
+/// factors the placement cannot satisfy).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionError {
+    /// `nparts` is zero or exceeds the row count (`need 1 <= nparts <= n`).
+    InvalidParts {
+        /// The requested part count.
+        nparts: usize,
+        /// The row count.
+        n: usize,
+    },
+    /// An assignment entry names a part `>= nparts`.
+    PartIndexOutOfRange {
+        /// The offending part index.
+        index: usize,
+        /// The part count.
+        nparts: usize,
+    },
+    /// A part owns no rows (solvers cannot host an empty subdomain).
+    EmptyPart {
+        /// The zero-row part.
+        part: usize,
+    },
+    /// A redundancy factor the placement cannot satisfy
+    /// (`need 1 <= r <= nparts`; `r = nparts` is full replication).
+    InvalidRedundancy {
+        /// The requested replication factor.
+        r: usize,
+        /// The part count.
+        nparts: usize,
+    },
+}
+
+impl std::fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartitionError::InvalidParts { nparts, n } => {
+                write!(f, "need 1 <= nparts <= n (got nparts = {nparts}, n = {n})")
+            }
+            PartitionError::PartIndexOutOfRange { index, nparts } => {
+                write!(f, "part index out of range ({index} >= nparts = {nparts})")
+            }
+            PartitionError::EmptyPart { part } => {
+                write!(
+                    f,
+                    "part {part} owns no rows (zero-row blocks are degenerate)"
+                )
+            }
+            PartitionError::InvalidRedundancy { r, nparts } => {
+                write!(
+                    f,
+                    "redundancy r must satisfy 1 <= r <= nparts (got r = {r}, nparts = {nparts})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
 /// An assignment of `n` rows to `nparts` parts.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Partition {
@@ -15,13 +77,40 @@ pub struct Partition {
 
 impl Partition {
     /// Wraps an assignment, validating part indices.
+    ///
+    /// # Panics
+    /// On an invalid part count or out-of-range index; use
+    /// [`Partition::try_new`] for a recoverable error.
     pub fn new(nparts: usize, assignment: Vec<usize>) -> Self {
-        assert!(nparts > 0, "nparts must be positive");
-        assert!(
-            assignment.iter().all(|&p| p < nparts),
-            "part index out of range"
-        );
-        Partition { nparts, assignment }
+        match Self::try_new(nparts, assignment) {
+            Ok(p) => p,
+            Err(PartitionError::InvalidParts { .. }) => panic!("nparts must be positive"),
+            Err(e) => panic!("part index out of range: {e}"),
+        }
+    }
+
+    /// Wraps an assignment, validating part indices; the non-panicking
+    /// form of [`Partition::new`].
+    pub fn try_new(nparts: usize, assignment: Vec<usize>) -> Result<Self, PartitionError> {
+        if nparts == 0 {
+            return Err(PartitionError::InvalidParts {
+                nparts,
+                n: assignment.len(),
+            });
+        }
+        if let Some(&bad) = assignment.iter().find(|&&p| p >= nparts) {
+            return Err(PartitionError::PartIndexOutOfRange { index: bad, nparts });
+        }
+        Ok(Partition { nparts, assignment })
+    }
+
+    /// Errs with the first zero-row part, if any — the recoverable form of
+    /// asserting [`Partition::all_parts_nonempty`] before distribution.
+    pub fn validate_nonempty(&self) -> Result<(), PartitionError> {
+        match self.sizes().iter().position(|&s| s == 0) {
+            Some(part) => Err(PartitionError::EmptyPart { part }),
+            None => Ok(()),
+        }
     }
 
     /// Number of parts.
@@ -92,8 +181,21 @@ impl Partition {
 }
 
 /// Splits rows `0..n` into `nparts` contiguous strips of near-equal size.
+///
+/// # Panics
+/// Unless `1 <= nparts <= n`; use [`try_partition_strip`] for a
+/// recoverable error.
 pub fn partition_strip(n: usize, nparts: usize) -> Partition {
     assert!(nparts > 0 && nparts <= n, "need 1 <= nparts <= n");
+    try_partition_strip(n, nparts).expect("bounds checked above")
+}
+
+/// The non-panicking form of [`partition_strip`]: `Err` when `nparts` is
+/// zero or exceeds `n` (which would force zero-row strips).
+pub fn try_partition_strip(n: usize, nparts: usize) -> Result<Partition, PartitionError> {
+    if nparts == 0 || nparts > n {
+        return Err(PartitionError::InvalidParts { nparts, n });
+    }
     let mut assignment = vec![0usize; n];
     let base = n / nparts;
     let extra = n % nparts;
@@ -105,7 +207,7 @@ pub fn partition_strip(n: usize, nparts: usize) -> Partition {
             row += 1;
         }
     }
-    Partition::new(nparts, assignment)
+    Partition::try_new(nparts, assignment)
 }
 
 /// Greedy graph growing: parts are grown one at a time by BFS from a
@@ -545,5 +647,53 @@ mod tests {
     #[should_panic(expected = "need 1 <= nparts <= n")]
     fn too_many_parts_panics() {
         partition_strip(3, 5);
+    }
+
+    #[test]
+    fn degenerate_partitions_err_instead_of_panicking() {
+        // Too many (or zero) parts: clear Err from the try_ API.
+        assert_eq!(
+            try_partition_strip(3, 5),
+            Err(PartitionError::InvalidParts { nparts: 5, n: 3 })
+        );
+        assert_eq!(
+            try_partition_strip(3, 0),
+            Err(PartitionError::InvalidParts { nparts: 0, n: 3 })
+        );
+        assert!(try_partition_strip(3, 5)
+            .unwrap_err()
+            .to_string()
+            .contains("need 1 <= nparts <= n"));
+        // Out-of-range assignment entries.
+        assert_eq!(
+            Partition::try_new(2, vec![0, 2, 1]),
+            Err(PartitionError::PartIndexOutOfRange {
+                index: 2,
+                nparts: 2
+            })
+        );
+        assert_eq!(
+            Partition::try_new(0, vec![]),
+            Err(PartitionError::InvalidParts { nparts: 0, n: 0 })
+        );
+        // Zero-row blocks are named by the validator.
+        let lopsided = Partition::try_new(3, vec![0, 0, 2]).unwrap();
+        assert_eq!(
+            lopsided.validate_nonempty(),
+            Err(PartitionError::EmptyPart { part: 1 })
+        );
+        assert!(lopsided
+            .validate_nonempty()
+            .unwrap_err()
+            .to_string()
+            .contains("owns no rows"));
+        // Healthy inputs pass.
+        let ok = try_partition_strip(10, 3).unwrap();
+        assert_eq!(ok.sizes(), vec![4, 3, 3]);
+        assert_eq!(ok.validate_nonempty(), Ok(()));
+        // Single-rank runs are valid, not degenerate.
+        let single = try_partition_strip(4, 1).unwrap();
+        assert_eq!(single.sizes(), vec![4]);
+        assert_eq!(single.validate_nonempty(), Ok(()));
     }
 }

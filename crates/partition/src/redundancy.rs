@@ -1,0 +1,210 @@
+//! Redundancy-coded block placement: every logical block is hosted by
+//! `r` ranks, so a straggling (or stalled) host no longer gates the
+//! block's progress — the first replica to arrive wins, after Haddadpour
+//! et al.'s straggler-resilient coded iterative solvers (PAPERS.md).
+//!
+//! The placement is a deterministic function of `(nparts, r, seed)`:
+//! replica sets are cyclic shifts of the identity placement by `r − 1`
+//! distinct nonzero offsets drawn from a SplitMix64-seeded Fisher–Yates
+//! shuffle. Shift placements keep the load exactly balanced — every rank
+//! hosts exactly `r` blocks and every block has exactly `r` hosts — and
+//! `replicas(b)[0] == b` always, so `r = 1` degenerates to the identity
+//! (uncoded) placement bit-for-bit.
+
+use crate::partitioner::PartitionError;
+
+/// A coded-placement request: replicate every block on `r` ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Redundancy {
+    /// Hosts per block (`1` = uncoded, `nparts` = full replication).
+    pub r: usize,
+    /// Seed for the shift-offset draw (the "partition seed" of the
+    /// placement; independent of solver and scheduler seeds).
+    pub seed: u64,
+}
+
+impl Redundancy {
+    /// A factor-`r` placement with the default seed.
+    pub fn new(r: usize) -> Self {
+        Redundancy { r, seed: 0 }
+    }
+}
+
+impl Default for Redundancy {
+    fn default() -> Self {
+        Redundancy::new(1)
+    }
+}
+
+/// SplitMix64 finalizer — the same mixer the fault injector and async
+/// scheduler use for their seed-derived draws.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// The realized replica-set placement for `nblocks` logical blocks over
+/// `nblocks` physical ranks (block `b`'s primary host is rank `b`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaMap {
+    nblocks: usize,
+    r: usize,
+    /// `replicas[b]` — the hosts of logical block `b`, primary first
+    /// (`replicas[b][0] == b`), the shifted hosts in draw order after.
+    replicas: Vec<Vec<usize>>,
+    /// `hosted[p]` — the logical blocks rank `p` hosts, ascending.
+    hosted: Vec<Vec<usize>>,
+}
+
+impl ReplicaMap {
+    /// Builds the deterministic placement. `Err` when `r` is zero or
+    /// exceeds the rank count (a single-rank run therefore admits only
+    /// `r = 1`; `r = nblocks` is full replication and is allowed).
+    pub fn try_new(nblocks: usize, red: Redundancy) -> Result<Self, PartitionError> {
+        if red.r == 0 || red.r > nblocks {
+            return Err(PartitionError::InvalidRedundancy {
+                r: red.r,
+                nparts: nblocks,
+            });
+        }
+        // Fisher–Yates over the nonzero shifts 1..nblocks, seeded from the
+        // placement seed; the first r − 1 entries are the offsets. Distinct
+        // nonzero offsets guarantee distinct hosts per block.
+        let mut shifts: Vec<usize> = (1..nblocks).collect();
+        let mut state = red.seed ^ 0x5851f42d4c957f2d;
+        for i in (1..shifts.len()).rev() {
+            state = mix64(state);
+            let j = (state % (i as u64 + 1)) as usize;
+            shifts.swap(i, j);
+        }
+        let offsets = &shifts[..red.r - 1];
+        let replicas: Vec<Vec<usize>> = (0..nblocks)
+            .map(|b| {
+                let mut hosts = Vec::with_capacity(red.r);
+                hosts.push(b);
+                hosts.extend(offsets.iter().map(|&o| (b + o) % nblocks));
+                hosts
+            })
+            .collect();
+        let mut hosted: Vec<Vec<usize>> = vec![Vec::with_capacity(red.r); nblocks];
+        for (b, hosts) in replicas.iter().enumerate() {
+            for &h in hosts {
+                hosted[h].push(b);
+            }
+        }
+        for blocks in &mut hosted {
+            blocks.sort_unstable();
+        }
+        Ok(ReplicaMap {
+            nblocks,
+            r: red.r,
+            replicas,
+            hosted,
+        })
+    }
+
+    /// Number of logical blocks (= physical ranks).
+    pub fn nblocks(&self) -> usize {
+        self.nblocks
+    }
+
+    /// The replication factor.
+    pub fn r(&self) -> usize {
+        self.r
+    }
+
+    /// The hosts of logical block `b`, primary (`== b`) first.
+    pub fn hosts_of(&self, b: usize) -> &[usize] {
+        &self.replicas[b]
+    }
+
+    /// All replica sets, indexed by logical block.
+    pub fn replicas(&self) -> &[Vec<usize>] {
+        &self.replicas
+    }
+
+    /// The logical blocks rank `p` hosts, ascending (always `r` of them).
+    pub fn hosted_by(&self, p: usize) -> &[usize] {
+        &self.hosted[p]
+    }
+
+    /// The replica sets as lag groups for an asynchronous scheduler: one
+    /// group per logical block, members are the block's hosts.
+    pub fn lag_groups(&self) -> Vec<Vec<u32>> {
+        self.replicas
+            .iter()
+            .map(|hosts| hosts.iter().map(|&h| h as u32).collect())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_is_balanced_and_deterministic() {
+        for (p, r) in [(8, 1), (8, 2), (8, 3), (5, 5), (2, 2), (1, 1)] {
+            let m = ReplicaMap::try_new(p, Redundancy { r, seed: 42 }).unwrap();
+            assert_eq!(m.nblocks(), p);
+            assert_eq!(m.r(), r);
+            for b in 0..p {
+                let hosts = m.hosts_of(b);
+                assert_eq!(hosts.len(), r, "block {b} of ({p}, {r})");
+                assert_eq!(hosts[0], b, "primary host is the block's own rank");
+                let mut uniq = hosts.to_vec();
+                uniq.sort_unstable();
+                uniq.dedup();
+                assert_eq!(uniq.len(), r, "hosts must be distinct: {hosts:?}");
+                assert_eq!(m.hosted_by(b).len(), r, "every rank hosts exactly r");
+                for &h in hosts {
+                    assert!(m.hosted_by(h).contains(&b));
+                }
+            }
+            let again = ReplicaMap::try_new(p, Redundancy { r, seed: 42 }).unwrap();
+            assert_eq!(m, again, "same seed, same placement");
+        }
+        // Different seeds move the shifted hosts (visible once r >= 3 over
+        // enough ranks for more than one offset choice).
+        let a = ReplicaMap::try_new(16, Redundancy { r: 3, seed: 1 }).unwrap();
+        let b = ReplicaMap::try_new(16, Redundancy { r: 3, seed: 2 }).unwrap();
+        assert_ne!(a, b, "seed must steer the placement");
+    }
+
+    #[test]
+    fn r1_is_the_identity_placement() {
+        let m = ReplicaMap::try_new(6, Redundancy::new(1)).unwrap();
+        for b in 0..6 {
+            assert_eq!(m.hosts_of(b), &[b]);
+            assert_eq!(m.hosted_by(b), &[b]);
+        }
+        assert_eq!(
+            m.lag_groups(),
+            (0..6).map(|b| vec![b as u32]).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn invalid_factors_err() {
+        assert_eq!(
+            ReplicaMap::try_new(4, Redundancy::new(0)),
+            Err(PartitionError::InvalidRedundancy { r: 0, nparts: 4 })
+        );
+        assert_eq!(
+            ReplicaMap::try_new(4, Redundancy::new(5)),
+            Err(PartitionError::InvalidRedundancy { r: 5, nparts: 4 })
+        );
+        // A single-rank run admits only r = 1.
+        assert_eq!(
+            ReplicaMap::try_new(1, Redundancy::new(2)),
+            Err(PartitionError::InvalidRedundancy { r: 2, nparts: 1 })
+        );
+        assert!(ReplicaMap::try_new(1, Redundancy::new(1)).is_ok());
+        let msg = ReplicaMap::try_new(4, Redundancy::new(9))
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("1 <= r <= nparts"), "{msg}");
+    }
+}

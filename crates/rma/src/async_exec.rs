@@ -88,6 +88,14 @@ pub struct AsyncExecutor<A: RankAlgorithm> {
     injector: FaultInjector,
     /// Messages deferred by delay injection: `(due_tick, target, env)`.
     delayed: Vec<(u64, usize, Envelope<A::Msg>)>,
+    /// Stall decisions for the current tick window (redrawn every
+    /// `phases()` ticks; all `false` without stall injection).
+    stall_window: Vec<bool>,
+    /// Logical lag groups (see [`AsyncExecutor::set_lag_groups`]): the
+    /// progress bound gates on the slowest *group* (a group progresses at
+    /// its fastest member), not the slowest rank. `None` = every rank is
+    /// its own group — the classic per-rank bound.
+    lag_groups: Option<Vec<Vec<u32>>>,
     /// Per-(origin, target) message indices for the fate keys (scratch).
     fate_seq: Vec<u32>,
     /// Targets touched in `fate_seq` by the current origin (scratch).
@@ -107,11 +115,12 @@ impl<A: RankAlgorithm> AsyncExecutor<A> {
     }
 
     /// As [`new`](Self::new), with message fault injection (drops,
-    /// duplicates, delays — delays are measured in scheduler ticks here).
-    ///
-    /// Stall injection is rejected: stalls are defined in terms of the
-    /// lock-step parallel step, which this executor does not have. Model
-    /// stragglers with `advance_probability` / `max_lag` instead.
+    /// duplicates, delays — delays are measured in scheduler ticks here)
+    /// and stall injection at tick-window granularity: stall decisions are
+    /// redrawn once every `phases()` ticks (one parallel step's worth of
+    /// phases, mirroring the superstep executor's per-step draws), and a
+    /// stalled rank executes no phase for the whole window while its
+    /// pending messages keep accumulating.
     pub fn with_chaos(
         ranks: Vec<A>,
         opts: AsyncOptions,
@@ -128,14 +137,6 @@ impl<A: RankAlgorithm> AsyncExecutor<A> {
         );
         assert!(opts.max_lag >= 1, "max_lag must be at least 1");
         chaos.validate()?;
-        if chaos.stalls_active() {
-            return Err(
-                "AsyncExecutor does not support stall injection (stalls are defined per \
-                 lock-step parallel step); set stall_rate = 0 and model stragglers with \
-                 AsyncOptions::advance_probability / max_lag instead"
-                    .to_string(),
-            );
-        }
         let n = ranks.len();
         // The per-rank speed draw is independent of the scheduler's
         // coin-flip stream, so turning skew on or off never perturbs the
@@ -161,6 +162,8 @@ impl<A: RankAlgorithm> AsyncExecutor<A> {
             advance_p,
             rng_state: opts.seed.wrapping_mul(0x9e3779b97f4a7c15) | 1,
             delayed: Vec::new(),
+            stall_window: vec![false; n],
+            lag_groups: None,
             fate_seq: vec![0; n],
             seq_touched: Vec::new(),
             ticks: 0,
@@ -193,6 +196,79 @@ impl<A: RankAlgorithm> AsyncExecutor<A> {
         &self.clock
     }
 
+    /// Declares logical lag groups for the progress bound, e.g. the
+    /// replica sets of a redundancy-coded placement: a logical block has
+    /// made progress once its *fastest* host has, so the `max_lag` bound
+    /// gates on the slowest group maximum instead of the slowest rank.
+    /// With singleton groups this is exactly the per-rank bound. Groups
+    /// may overlap (a rank hosting `r` blocks sits in `r` groups); every
+    /// rank must appear in at least one group.
+    pub fn set_lag_groups(&mut self, groups: Vec<Vec<u32>>) {
+        let n = self.ranks.len();
+        assert!(!groups.is_empty(), "need at least one lag group");
+        let mut covered = vec![false; n];
+        for g in &groups {
+            assert!(!g.is_empty(), "lag groups must be non-empty");
+            for &m in g {
+                assert!((m as usize) < n, "lag group member {m} out of range");
+                covered[m as usize] = true;
+            }
+        }
+        assert!(
+            covered.iter().all(|&c| c),
+            "every rank must appear in at least one lag group"
+        );
+        self.lag_groups = Some(groups);
+    }
+
+    /// The progress gate: the slowest logical group's best clock (per-rank
+    /// minimum when no groups are declared).
+    fn lag_gate(&self) -> usize {
+        match &self.lag_groups {
+            None => *self.clock.iter().min().unwrap(),
+            Some(groups) => groups
+                .iter()
+                .map(|g| g.iter().map(|&m| self.clock[m as usize]).max().unwrap())
+                .min()
+                .unwrap(),
+        }
+    }
+
+    /// Per-group best clocks (the logical progress observable): one entry
+    /// per lag group, or the per-rank clocks when no groups are declared.
+    pub fn logical_clocks(&self) -> Vec<usize> {
+        match &self.lag_groups {
+            None => self.clock.clone(),
+            Some(groups) => groups
+                .iter()
+                .map(|g| g.iter().map(|&m| self.clock[m as usize]).max().unwrap())
+                .collect(),
+        }
+    }
+
+    /// The pace the run is gated on: the slowest group's fastest member's
+    /// advance probability (slowest rank when no groups are declared) —
+    /// what a tick budget should divide by.
+    pub fn pacing_probability(&self) -> f64 {
+        match &self.lag_groups {
+            None => self.advance_p.iter().cloned().fold(f64::INFINITY, f64::min),
+            Some(groups) => groups
+                .iter()
+                .map(|g| {
+                    g.iter()
+                        .map(|&m| self.advance_p[m as usize])
+                        .fold(0.0, f64::max)
+                })
+                .fold(f64::INFINITY, f64::min),
+        }
+    }
+
+    /// Direct access to the fault injector, e.g. to force targeted
+    /// stragglers with [`FaultInjector::inject_stall`].
+    pub fn injector_mut(&mut self) -> &mut FaultInjector {
+        &mut self.injector
+    }
+
     /// Completed scheduler ticks.
     pub fn ticks(&self) -> u64 {
         self.ticks
@@ -212,21 +288,31 @@ impl<A: RankAlgorithm> AsyncExecutor<A> {
     }
 
     /// One scheduler tick: every rank that wins the coin flip — and is not
-    /// too far ahead of the slowest rank — executes its next phase.
-    /// Returns the number of ranks advanced.
+    /// too far ahead of the progress gate, and not stalled this window —
+    /// executes its next phase. Returns the number of ranks advanced.
     pub fn tick(&mut self) -> usize {
         let n = self.ranks.len();
         let nphases = self.ranks[0].phases();
-        let min_clock = *self.clock.iter().min().unwrap();
         let mut advanced = 0;
         let t_tick = std::time::Instant::now();
         let mut step = StepStats::default();
+        // Stall window: decisions are redrawn once every `nphases` ticks
+        // (one parallel step's worth of phases), mirroring the superstep
+        // executor's per-step draws; a stalled rank sits out the window.
+        if self.ticks.is_multiple_of(nphases as u64) {
+            self.stall_window = self.injector.step_stalls();
+            step.faults.stalled_ranks += self.stall_window.iter().filter(|&&s| s).count() as u64;
+        }
+        let gate = self.lag_gate();
         // Messages produced this tick are held back until the tick ends, so
         // a rank never sees a same-tick neighbor's output mid-flight (the
         // window rule: data lands between the target's phases).
         let mut tick_out: Vec<(usize, Envelope<A::Msg>)> = Vec::new();
         for i in 0..n {
-            if self.clock[i] >= min_clock + self.opts.max_lag {
+            if self.stall_window[i] {
+                continue; // injected stall: no phase, inbox accumulates
+            }
+            if self.clock[i] >= gate + self.opts.max_lag {
                 continue; // progress bound: wait for stragglers
             }
             if self.next_f64() >= self.advance_p[i] {
@@ -253,10 +339,12 @@ impl<A: RankAlgorithm> AsyncExecutor<A> {
             step.msgs_solve += totals.msgs_solve;
             step.msgs_residual += totals.msgs_residual;
             step.msgs_recovery += totals.msgs_recovery;
+            step.msgs_redundancy += totals.msgs_redundancy;
             step.bytes += totals.bytes;
             step.bytes_solve += totals.bytes_solve;
             step.bytes_residual += totals.bytes_residual;
             step.bytes_recovery += totals.bytes_recovery;
+            step.bytes_redundancy += totals.bytes_redundancy;
             step.flops += totals.flops;
             step.relaxations += totals.relaxations;
             step.active_ranks += u64::from(totals.active);
@@ -324,8 +412,9 @@ impl<A: RankAlgorithm> AsyncExecutor<A> {
         advanced
     }
 
-    /// Ticks until every rank has completed at least `steps` full parallel
-    /// steps (all phases), or `max_ticks` elapses.
+    /// Ticks until every *logical* clock — per-rank clocks, or the group
+    /// maxima when lag groups are declared — has completed at least
+    /// `steps` full parallel steps (all phases), or `max_ticks` elapses.
     ///
     /// `Ok(ticks)` when the goal was reached — including when the final
     /// permitted tick is the one that gets every clock there — and
@@ -335,14 +424,14 @@ impl<A: RankAlgorithm> AsyncExecutor<A> {
     pub fn run_steps(&mut self, steps: usize, max_ticks: usize) -> RunStepsResult {
         let nphases = self.ranks[0].phases();
         let goal = steps * nphases;
-        let done = |clock: &[usize]| clock.iter().all(|&c| c >= goal);
+        let done = |ex: &Self| ex.logical_clocks().iter().all(|&c| c >= goal);
         for t in 0..max_ticks {
-            if done(&self.clock) {
+            if done(self) {
                 return Ok(t);
             }
             self.tick();
         }
-        if done(&self.clock) {
+        if done(self) {
             Ok(max_ticks)
         } else {
             Err(max_ticks)
@@ -531,25 +620,122 @@ mod tests {
         assert_eq!(ex.clocks(), &[0, 0, 0]);
     }
 
+    /// Stall injection runs at tick-window granularity: the config is
+    /// accepted, stalled rank-windows are counted, the run is
+    /// deterministic per seed, and message conservation still holds
+    /// (a stalled rank's pending puts accumulate until it resumes).
     #[test]
-    fn stall_config_rejected_with_clear_error() {
-        let ranks: Vec<Ring> = (0..2).map(|id| Ring { id, n: 2, value: 1 }).collect();
+    fn stall_config_accepted_and_deterministic() {
         let chaos = ChaosConfig {
-            stall_rate: 0.5,
+            stall_rate: 0.4,
             stall_steps: 2,
+            seed: 5,
             ..ChaosConfig::none()
         };
-        let err = AsyncExecutor::with_chaos(ranks, AsyncOptions::default(), chaos)
-            .err()
-            .expect("stall config must be rejected");
+        let mk = || {
+            let ranks: Vec<Counter> = (0..5)
+                .map(|id| Counter {
+                    id,
+                    n: 5,
+                    received: 0,
+                    sent: 0,
+                })
+                .collect();
+            AsyncExecutor::with_chaos(ranks, AsyncOptions::default(), chaos)
+                .expect("stall configs are supported at tick-window granularity")
+        };
+        let mut a = mk();
+        let mut b = mk();
+        a.run_steps(20, 10_000).unwrap();
+        b.run_steps(20, 10_000).unwrap();
+        let obs = |ex: &AsyncExecutor<Counter>| {
+            (
+                ex.ranks()
+                    .iter()
+                    .map(|r| (r.sent, r.received))
+                    .collect::<Vec<_>>(),
+                ex.clocks().to_vec(),
+                ex.ticks(),
+            )
+        };
+        assert_eq!(obs(&a), obs(&b), "stall pattern must be deterministic");
         assert!(
-            err.contains("stall"),
-            "error should name the problem: {err}"
+            a.stats.total_faults().stalled_ranks > 0,
+            "rate 0.4 over many windows must stall someone"
         );
+        let sent: u64 = a.ranks().iter().map(|r| r.sent).sum();
+        let received: u64 = a.ranks().iter().map(|r| r.received).sum();
+        assert_eq!(received + a.in_flight() as u64, sent);
+    }
+
+    /// A targeted stall via `injector_mut` holds the rank still for whole
+    /// tick windows while the rest keep moving up to the lag bound.
+    #[test]
+    fn targeted_stall_freezes_rank_for_windows() {
+        let ranks: Vec<Ring> = (0..4).map(|id| Ring { id, n: 4, value: 1 }).collect();
+        let mut ex = AsyncExecutor::new(
+            ranks,
+            AsyncOptions {
+                advance_probability: 1.0,
+                ..AsyncOptions::default()
+            },
+        );
+        ex.injector_mut().inject_stall(2, 3);
+        // 3 stalled windows × 1 phase per window = 3 ticks frozen.
+        for _ in 0..3 {
+            ex.tick();
+        }
+        assert_eq!(ex.clocks()[2], 0, "stalled rank must not advance");
+        assert!(ex.clocks().iter().any(|&c| c > 0), "others keep moving");
+        assert_eq!(ex.stats.total_faults().stalled_ranks, 3);
+        for _ in 0..10 {
+            ex.tick();
+        }
+        assert!(ex.clocks()[2] > 0, "rank resumes after the stall expires");
+    }
+
+    /// Lag groups relax the progress bound to logical blocks: with rank 0
+    /// never advancing but covered by a two-member group, the others may
+    /// run arbitrarily far ahead; with singleton groups they are fenced at
+    /// `max_lag`.
+    #[test]
+    fn lag_groups_ungate_covered_stragglers() {
+        let mk = || {
+            let ranks: Vec<Ring> = (0..4).map(|id| Ring { id, n: 4, value: 1 }).collect();
+            let mut ex = AsyncExecutor::new(
+                ranks,
+                AsyncOptions {
+                    advance_probability: 1.0,
+                    max_lag: 3,
+                    ..AsyncOptions::default()
+                },
+            );
+            // Rank 0 is a dead straggler.
+            ex.injector_mut().inject_stall(0, 1_000_000);
+            ex
+        };
+        // Singleton groups (the default): everyone is fenced at max_lag.
+        let mut fenced = mk();
+        for _ in 0..50 {
+            fenced.tick();
+        }
+        assert!(fenced.clocks().iter().all(|&c| c <= 3));
+        // Rank 0's block is replicated on rank 1: the gate follows the
+        // group maxima and the live ranks run ahead.
+        let mut coded = mk();
+        coded.set_lag_groups(vec![vec![0, 1], vec![1], vec![2], vec![3]]);
+        for _ in 0..50 {
+            coded.tick();
+        }
+        assert_eq!(coded.clocks()[0], 0);
         assert!(
-            err.contains("advance_probability"),
-            "error should point at the supported alternative: {err}"
+            coded.clocks()[1..].iter().all(|&c| c > 10),
+            "covered straggler must stop gating the rest: {:?}",
+            coded.clocks()
         );
+        assert_eq!(coded.logical_clocks().len(), 4);
+        assert!(coded.logical_clocks().iter().all(|&c| c > 10));
+        assert!((coded.pacing_probability() - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -42,6 +42,10 @@ pub struct Envelope<M> {
     pub src: usize,
     /// Message class (for the Table 3 breakdown).
     pub class: CommClass,
+    /// Modelled payload size of the originating put (the β-term bytes).
+    /// Carried on the wire so a forwarding layer (the redundancy wrapper)
+    /// can re-charge exact byte counts for its fan-out copies.
+    pub bytes: u64,
     /// Payload.
     pub payload: M,
 }
@@ -53,10 +57,12 @@ pub(crate) struct PhaseTotals {
     pub msgs_solve: u64,
     pub msgs_residual: u64,
     pub msgs_recovery: u64,
+    pub msgs_redundancy: u64,
     pub bytes: u64,
     pub bytes_solve: u64,
     pub bytes_residual: u64,
     pub bytes_recovery: u64,
+    pub bytes_redundancy: u64,
     pub flops: u64,
     pub relaxations: u64,
     pub active: bool,
@@ -174,6 +180,7 @@ impl<M> PhaseCtx<M> {
         let env = Envelope {
             src: self.rank,
             class,
+            bytes,
             payload,
         };
         match &mut self.sink {
@@ -207,6 +214,10 @@ impl<M> PhaseCtx<M> {
             CommClass::Recovery => {
                 self.totals.msgs_recovery += 1;
                 self.totals.bytes_recovery += bytes;
+            }
+            CommClass::Redundancy => {
+                self.totals.msgs_redundancy += 1;
+                self.totals.bytes_redundancy += bytes;
             }
         }
         self.totals.bytes += bytes;
@@ -391,10 +402,12 @@ struct ClosePartial {
     msgs_solve: u64,
     msgs_residual: u64,
     msgs_recovery: u64,
+    msgs_redundancy: u64,
     bytes: u64,
     bytes_solve: u64,
     bytes_residual: u64,
     bytes_recovery: u64,
+    bytes_redundancy: u64,
     flops: u64,
     max_flops: u64,
     relaxations: u64,
@@ -408,10 +421,12 @@ impl ClosePartial {
         self.msgs_solve += t.msgs_solve;
         self.msgs_residual += t.msgs_residual;
         self.msgs_recovery += t.msgs_recovery;
+        self.msgs_redundancy += t.msgs_redundancy;
         self.bytes += t.bytes;
         self.bytes_solve += t.bytes_solve;
         self.bytes_residual += t.bytes_residual;
         self.bytes_recovery += t.bytes_recovery;
+        self.bytes_redundancy += t.bytes_redundancy;
         self.flops += t.flops;
         self.max_flops = self.max_flops.max(t.flops);
         self.relaxations += t.relaxations;
@@ -425,10 +440,12 @@ impl ClosePartial {
         self.msgs_solve += other.msgs_solve;
         self.msgs_residual += other.msgs_residual;
         self.msgs_recovery += other.msgs_recovery;
+        self.msgs_redundancy += other.msgs_redundancy;
         self.bytes += other.bytes;
         self.bytes_solve += other.bytes_solve;
         self.bytes_residual += other.bytes_residual;
         self.bytes_recovery += other.bytes_recovery;
+        self.bytes_redundancy += other.bytes_redundancy;
         self.flops += other.flops;
         self.max_flops = self.max_flops.max(other.max_flops);
         self.relaxations += other.relaxations;
@@ -715,10 +732,12 @@ impl<A: RankAlgorithm> Executor<A> {
         step.msgs_solve += ph.msgs_solve;
         step.msgs_residual += ph.msgs_residual;
         step.msgs_recovery += ph.msgs_recovery;
+        step.msgs_redundancy += ph.msgs_redundancy;
         step.bytes += ph.bytes;
         step.bytes_solve += ph.bytes_solve;
         step.bytes_residual += ph.bytes_residual;
         step.bytes_recovery += ph.bytes_recovery;
+        step.bytes_redundancy += ph.bytes_redundancy;
         step.flops += ph.flops;
         step.relaxations += ph.relaxations;
         step.active_ranks += ph.active;

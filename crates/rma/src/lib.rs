@@ -33,11 +33,13 @@ pub mod async_exec;
 pub mod executor;
 pub mod fault;
 pub(crate) mod pool;
+pub mod redundancy;
 pub mod stats;
 pub mod trace;
 
 pub use async_exec::{AsyncExecutor, AsyncOptions, RunStepsResult};
 pub use executor::{CloseMode, Envelope, ExecMode, Executor, PhaseCtx, RankAlgorithm};
 pub use fault::{ChaosConfig, Fate, FaultInjector};
+pub use redundancy::{CodedMsg, RedundantHost};
 pub use stats::{ClassCounts, CommClass, CostModel, FaultStats, MonitorStats, RunStats, StepStats};
 pub use trace::{Trace, TraceEvent};

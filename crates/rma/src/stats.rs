@@ -16,11 +16,22 @@ pub enum CommClass {
     /// watchdog's forced residual rebroadcasts. Counted separately so the
     /// resilience overhead is measurable against the paper's metrics.
     Recovery,
+    /// Extra replica copies of coded (redundancy-`r`) placements: for every
+    /// logical message, the copy to the primary host keeps its original
+    /// class while the `r − 1` fan-out copies to the remaining replica
+    /// hosts are counted here, so the wire overhead of straggler coding is
+    /// measurable per class (Haddadpour et al., PAPERS.md).
+    Redundancy,
 }
 
 impl CommClass {
     /// All classes, in display order.
-    pub const ALL: [CommClass; 3] = [CommClass::Solve, CommClass::Residual, CommClass::Recovery];
+    pub const ALL: [CommClass; 4] = [
+        CommClass::Solve,
+        CommClass::Residual,
+        CommClass::Recovery,
+        CommClass::Redundancy,
+    ];
 }
 
 /// Message counts split by [`CommClass`].
@@ -32,6 +43,8 @@ pub struct ClassCounts {
     pub residual: u64,
     /// [`CommClass::Recovery`] messages.
     pub recovery: u64,
+    /// [`CommClass::Redundancy`] messages.
+    pub redundancy: u64,
 }
 
 impl ClassCounts {
@@ -42,6 +55,7 @@ impl ClassCounts {
             CommClass::Solve => self.solve += n,
             CommClass::Residual => self.residual += n,
             CommClass::Recovery => self.recovery += n,
+            CommClass::Redundancy => self.redundancy += n,
         }
     }
 
@@ -52,13 +66,14 @@ impl ClassCounts {
             CommClass::Solve => self.solve,
             CommClass::Residual => self.residual,
             CommClass::Recovery => self.recovery,
+            CommClass::Redundancy => self.redundancy,
         }
     }
 
     /// Sum over all classes.
     #[inline]
     pub fn total(&self) -> u64 {
-        self.solve + self.residual + self.recovery
+        self.solve + self.residual + self.recovery + self.redundancy
     }
 
     /// Element-wise accumulation.
@@ -67,6 +82,7 @@ impl ClassCounts {
         self.solve += other.solve;
         self.residual += other.residual;
         self.recovery += other.recovery;
+        self.redundancy += other.redundancy;
     }
 }
 
@@ -163,6 +179,8 @@ pub struct StepStats {
     pub msgs_residual: u64,
     /// ... of class [`CommClass::Recovery`].
     pub msgs_recovery: u64,
+    /// ... of class [`CommClass::Redundancy`] (extra replica copies).
+    pub msgs_redundancy: u64,
     /// Payload bytes sent by all ranks.
     pub bytes: u64,
     /// ... of class [`CommClass::Solve`].
@@ -171,6 +189,8 @@ pub struct StepStats {
     pub bytes_residual: u64,
     /// ... of class [`CommClass::Recovery`].
     pub bytes_recovery: u64,
+    /// ... of class [`CommClass::Redundancy`] (extra replica copies).
+    pub bytes_redundancy: u64,
     /// Flops reported by all ranks.
     pub flops: u64,
     /// Ranks that reported at least one relaxation.
@@ -211,10 +231,12 @@ impl PartialEq for StepStats {
             && self.msgs_solve == other.msgs_solve
             && self.msgs_residual == other.msgs_residual
             && self.msgs_recovery == other.msgs_recovery
+            && self.msgs_redundancy == other.msgs_redundancy
             && self.bytes == other.bytes
             && self.bytes_solve == other.bytes_solve
             && self.bytes_residual == other.bytes_residual
             && self.bytes_recovery == other.bytes_recovery
+            && self.bytes_redundancy == other.bytes_redundancy
             && self.flops == other.flops
             && self.active_ranks == other.active_ranks
             && self.relaxations == other.relaxations
@@ -329,6 +351,12 @@ impl RunStats {
         self.steps.iter().map(|s| s.msgs_recovery).sum()
     }
 
+    /// Total redundancy-class messages (extra replica copies of coded
+    /// placements).
+    pub fn total_msgs_redundancy(&self) -> u64 {
+        self.steps.iter().map(|s| s.msgs_redundancy).sum()
+    }
+
     /// Total payload bytes over all steps.
     pub fn total_bytes(&self) -> u64 {
         self.steps.iter().map(|s| s.bytes).sum()
@@ -347,6 +375,12 @@ impl RunStats {
     /// Total recovery-class payload bytes.
     pub fn total_bytes_recovery(&self) -> u64 {
         self.steps.iter().map(|s| s.bytes_recovery).sum()
+    }
+
+    /// Total redundancy-class payload bytes (the wire overhead of coded
+    /// placements over the uncoded run).
+    pub fn total_bytes_redundancy(&self) -> u64 {
+        self.steps.iter().map(|s| s.bytes_redundancy).sum()
     }
 
     /// Total measured epoch-close (routing) nanoseconds over the run.
@@ -386,6 +420,11 @@ impl RunStats {
     /// Recovery-class communication cost (overhead of self-healing).
     pub fn comm_cost_recovery(&self) -> f64 {
         self.total_msgs_recovery() as f64 / self.msgs_per_rank.len() as f64
+    }
+
+    /// Redundancy-class communication cost (overhead of coded placement).
+    pub fn comm_cost_redundancy(&self) -> f64 {
+        self.total_msgs_redundancy() as f64 / self.msgs_per_rank.len() as f64
     }
 
     /// Total modelled time.
@@ -492,17 +531,15 @@ mod tests {
                 dropped: ClassCounts {
                     solve: 2,
                     residual: 1,
-                    recovery: 0,
+                    ..ClassCounts::default()
                 },
                 duplicated: ClassCounts {
                     solve: 1,
-                    residual: 0,
-                    recovery: 0,
+                    ..ClassCounts::default()
                 },
                 delayed: ClassCounts {
-                    solve: 0,
-                    residual: 0,
                     recovery: 3,
+                    ..ClassCounts::default()
                 },
                 stalled_ranks: 2,
             },

@@ -7,10 +7,10 @@
 //! superstep backend).
 
 use distributed_southwell::core::dist::{
-    run_method, DistOptions, DsConfig, ExecBackend, Method, MonitorMode, RecoveryConfig,
+    run_method, DistOptions, DsConfig, ExecBackend, Method, MonitorMode, RecoveryConfig, Redundancy,
 };
 use distributed_southwell::partition::{partition_multilevel, Graph, MultilevelOptions, Partition};
-use distributed_southwell::rma::{AsyncOptions, ChaosConfig};
+use distributed_southwell::rma::{AsyncOptions, ChaosConfig, ExecMode};
 use distributed_southwell::sparse::{gen, vecops, CsrMatrix};
 use proptest::prelude::*;
 
@@ -27,12 +27,16 @@ fn problem(nx: usize, p: usize) -> (CsrMatrix, Vec<f64>, Vec<f64>, Partition) {
     (a, b, x0, part)
 }
 
+/// The deterministic fields of one `StepRecord`: step, residual bits,
+/// relaxations, msgs, per-class msgs sum, redundancy msgs, bytes, active.
+type RecordKey = (usize, u64, u64, u64, u64, u64, u64, u64);
+
 /// Every deterministic observable of a finished run, bitwise-comparable.
 /// Measured timing (`compute_ns`, `imbalance`, monitor nanoseconds) is
 /// deliberately excluded — wall-clock is not part of the contract.
 #[derive(Debug, PartialEq)]
 struct ReportPrint {
-    records: Vec<(usize, u64, u64, u64, u64, u64, u64)>,
+    records: Vec<RecordKey>,
     x: Vec<u64>,
     converged_at: Option<usize>,
     deadlocked: bool,
@@ -60,7 +64,8 @@ fn print_of(rep: &distributed_southwell::core::dist::DistReport) -> ReportPrint 
                     r.residual_norm.to_bits(),
                     r.relaxations,
                     r.msgs,
-                    r.msgs_solve + r.msgs_residual + r.msgs_recovery,
+                    r.msgs_solve + r.msgs_residual + r.msgs_recovery + r.msgs_redundancy,
+                    r.msgs_redundancy,
                     r.bytes,
                     r.active_ranks,
                 )
@@ -192,5 +197,90 @@ proptest! {
         prop_assert!(mon.evals > 0);
         prop_assert!(mon.verifications > 0);
         prop_assert!(mon.evals >= mon.verifications);
+    }
+
+    /// `redundancy: Some(r = 1)` is the identity placement: bit-identical
+    /// `DistReport` to the uncoded run on every backend — sequential and
+    /// threaded supersteps and the async scheduler — with chaos on or off.
+    #[test]
+    fn redundancy_r1_bit_identical_to_uncoded_across_backends(
+        seed in 0u64..500,
+        chaotic_sel in 0u64..2,
+    ) {
+        let (a, b, x0, part) = problem(12, 6);
+        let chaos = if chaotic_sel == 1 {
+            ChaosConfig {
+                drop_rate: 0.1,
+                duplicate_rate: 0.1,
+                delay_rate: 0.1,
+                max_delay_epochs: 2,
+                seed: seed ^ 0xc0ffee,
+                ..ChaosConfig::none()
+            }
+        } else {
+            ChaosConfig::none()
+        };
+        for backend in [
+            ExecBackend::Superstep(ExecMode::Sequential),
+            ExecBackend::Superstep(ExecMode::Threaded(3)),
+            ExecBackend::Async(AsyncOptions {
+                advance_probability: 0.6,
+                max_lag: 5,
+                seed,
+                straggler_skew: 0.5,
+            }),
+        ] {
+            let base = DistOptions { backend, ..async_opts(chaos, 0.5, seed) };
+            let coded = DistOptions {
+                redundancy: Some(Redundancy::new(1)),
+                ..base
+            };
+            let r1 = run_method(Method::DistributedSouthwell, &a, &b, &x0, &part, &base);
+            let r2 = run_method(Method::DistributedSouthwell, &a, &b, &x0, &part, &coded);
+            prop_assert_eq!(
+                print_of(&r1),
+                print_of(&r2),
+                "r = 1 diverged from uncoded (seed {}, chaos {})",
+                seed, chaotic_sel == 1
+            );
+        }
+    }
+
+    /// Coded placements (r ∈ {2, 3}) on the async backend: deterministic
+    /// per seed, redundancy traffic lands in its own class, and verdicts
+    /// stay verified (the true residual of the representative solution
+    /// matches the final record).
+    #[test]
+    fn coded_async_runs_are_deterministic_and_verified(
+        r_extra in 0usize..2,
+        seed in 0u64..500,
+        skew in 0.0f64..0.8,
+    ) {
+        let (a, b, x0, part) = problem(12, 6);
+        let r = 2 + r_extra;
+        let opts = DistOptions {
+            redundancy: Some(Redundancy::new(r)),
+            ..async_opts(ChaosConfig::none(), skew, seed)
+        };
+        let r1 = run_method(Method::DistributedSouthwell, &a, &b, &x0, &part, &opts);
+        let r2 = run_method(Method::DistributedSouthwell, &a, &b, &x0, &part, &opts);
+        prop_assert_eq!(
+            print_of(&r1),
+            print_of(&r2),
+            "r = {} not deterministic (seed {}, skew {})",
+            r, seed, skew
+        );
+        let last = r1.records.last().unwrap();
+        prop_assert!(last.msgs_redundancy > 0, "replica fan-out must be accounted");
+        prop_assert_eq!(
+            last.msgs,
+            last.msgs_solve + last.msgs_residual + last.msgs_recovery + last.msgs_redundancy
+        );
+        let true_norm = vecops::norm2(&a.residual(&b, &r1.x));
+        prop_assert!(
+            (r1.final_residual() - true_norm).abs() <= 1e-12 * true_norm.max(1.0),
+            "final record {} vs true {}",
+            r1.final_residual(), true_norm
+        );
     }
 }

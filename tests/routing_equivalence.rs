@@ -10,7 +10,7 @@
 
 use distributed_southwell::rma::{
     ChaosConfig, CloseMode, CommClass, CostModel, Envelope, ExecMode, Executor, PhaseCtx,
-    RankAlgorithm, StepStats,
+    RankAlgorithm, RedundantHost, StepStats,
 };
 use proptest::prelude::*;
 
@@ -187,6 +187,162 @@ proptest! {
                 &reference,
                 &other,
                 "{:?} × {:?} (declare {}, grain {:?}) diverged from the serial flat reference",
+                mode,
+                close,
+                declare,
+                grain
+            );
+        }
+    }
+}
+
+/// Builds the coded 8 × 8 gossip fleet: block `b`'s `Gossip` instances are
+/// dealt to cyclic-shift replica sets of factor `r` (shift stride 3), the
+/// same shape `dsw-partition`'s `ReplicaMap` produces.
+fn coded_ranks(r: usize, declare: bool) -> Vec<RedundantHost<Gossip>> {
+    let n = 64usize;
+    let replicas: Vec<Vec<u32>> = (0..n as u32)
+        .map(|b| (0..r as u32).map(|j| (b + j * 3) % n as u32).collect())
+        .collect();
+    (0..n)
+        .map(|p| {
+            let mine: Vec<(usize, Gossip)> = (0..n)
+                .filter(|&b| replicas[b].contains(&(p as u32)))
+                .map(|b| {
+                    (
+                        b,
+                        Gossip {
+                            id: b,
+                            w: 8,
+                            h: 8,
+                            declare,
+                            step: 0,
+                            log: Vec::new(),
+                        },
+                    )
+                })
+                .collect();
+            RedundantHost::new(p, replicas.clone(), mine)
+        })
+        .collect()
+}
+
+/// Runs the coded fleet and snapshots every observable: all hosted inner
+/// logs (per physical rank, ascending block order), steps, counters.
+fn run_coded(
+    mode: ExecMode,
+    close: CloseMode,
+    declare: bool,
+    grain: Option<usize>,
+    chaos: ChaosConfig,
+    r: usize,
+) -> Observed {
+    let mut ex = Executor::with_chaos(coded_ranks(r, declare), CostModel::default(), mode, chaos);
+    assert_eq!(ex.has_routing_index(), declare);
+    ex.set_close_mode(close);
+    ex.set_parallel_close_threshold(0);
+    if let Some(g) = grain {
+        ex.set_grain(g);
+    }
+    for _ in 0..8 {
+        ex.step();
+    }
+    let f = ex.stats.total_faults();
+    Observed {
+        logs: ex
+            .ranks()
+            .iter()
+            .map(|h| {
+                h.solvers()
+                    .flat_map(|(_, s)| s.log.iter().cloned())
+                    .collect()
+            })
+            .collect(),
+        steps: ex.stats.steps.clone(),
+        msgs_per_rank: ex.stats.msgs_per_rank.clone(),
+        faults: (
+            f.dropped.total(),
+            f.duplicated.total(),
+            f.delayed.total(),
+            f.stalled_ranks,
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The `r = 1` redundancy wrapper is *transparent*: identity replica
+    /// sets produce byte-identical inner inboxes, per-class counters, and
+    /// fault tallies to the unwrapped run — under drops, delays, and
+    /// stalls. (Chaos *duplicates* are deliberately excluded: the wrapper's
+    /// slot reconciliation absorbs the duplicate copy before the solver
+    /// sees it, which is exactly why the driver routes `r = 1` through the
+    /// uncoded path.)
+    #[test]
+    fn coded_r1_wrapper_is_transparent(
+        drop_rate in 0.0f64..0.25,
+        delay_rate in 0.0f64..0.25,
+        max_delay_epochs in 1u64..4,
+        stall_rate in 0.0f64..0.15,
+        seed in 0u64..10_000,
+    ) {
+        let chaos = ChaosConfig {
+            drop_rate,
+            delay_rate,
+            max_delay_epochs: max_delay_epochs as usize,
+            stall_rate,
+            stall_steps: 2,
+            seed,
+            ..ChaosConfig::none()
+        };
+        for declare in [false, true] {
+            let plain = run(ExecMode::Sequential, CloseMode::Serial, declare, None, chaos);
+            let coded = run_coded(ExecMode::Sequential, CloseMode::Serial, declare, None, chaos, 1);
+            prop_assert_eq!(
+                &plain,
+                &coded,
+                "r = 1 wrapper not transparent (declare {}, seed {})",
+                declare,
+                seed
+            );
+        }
+    }
+
+    /// The coded fan-out path (r = 2) is schedule-independent: every
+    /// routing/close/pool combination observes byte-identical inner logs
+    /// and counters to the serial flat reference, under full chaos
+    /// (duplicates included — reconciliation must be deterministic too).
+    #[test]
+    fn coded_fanout_identical_across_paths(
+        drop_rate in 0.0f64..0.25,
+        duplicate_rate in 0.0f64..0.25,
+        delay_rate in 0.0f64..0.25,
+        stall_rate in 0.0f64..0.15,
+        seed in 0u64..10_000,
+    ) {
+        let chaos = ChaosConfig {
+            drop_rate,
+            duplicate_rate,
+            delay_rate,
+            max_delay_epochs: 2,
+            stall_rate,
+            stall_steps: 2,
+            seed,
+            ..ChaosConfig::none()
+        };
+        let reference = run_coded(ExecMode::Sequential, CloseMode::Serial, false, None, chaos, 2);
+        for (mode, close, declare, grain) in [
+            (ExecMode::Sequential, CloseMode::Serial, true, None),
+            (ExecMode::Threaded(3), CloseMode::Parallel, true, None),
+            (ExecMode::Threaded(2), CloseMode::Auto, true, Some(7)),
+            (ExecMode::Threaded(4), CloseMode::Parallel, false, None),
+        ] {
+            let other = run_coded(mode, close, declare, grain, chaos, 2);
+            prop_assert_eq!(
+                &reference,
+                &other,
+                "coded r = 2: {:?} × {:?} (declare {}, grain {:?}) diverged",
                 mode,
                 close,
                 declare,
