@@ -50,19 +50,25 @@ fn bench_async_convergence(c: &mut Criterion) {
         // the CI gate checks (the backend is seeded, so every iteration
         // below reproduces it bit-for-bit).
         let rep = run_method(method, &prob.a, &prob.b, &prob.x0, &part, &opts);
-        assert!(
-            rep.converged_at.is_some(),
-            "{tag} did not reach the target at the default sweep point"
-        );
+        // A miss at the sweep point is data, not a fatal error: emit the
+        // sentinel (-1) so the archived JSON still carries a row per method
+        // and the CI gate can flag it without killing the whole bench job.
+        let (ticks, msgs) = match (rep.converged_at, rep.comm_to_reach(TARGET)) {
+            (Some(t), Some(m)) => (t as f64, m),
+            _ => {
+                eprintln!("warning: {tag} did not reach the target at the default sweep point");
+                (-1.0, -1.0)
+            }
+        };
         record_metric(
             "async_convergence",
             &format!("{tag}_ticks_to_target"),
-            rep.converged_at.unwrap() as f64,
+            ticks,
         );
         record_metric(
             "async_convergence",
             &format!("{tag}_msgs_per_rank_to_target"),
-            rep.comm_to_reach(TARGET).unwrap(),
+            msgs,
         );
         group.bench_function(&format!("{tag}_run"), |bench| {
             bench.iter(|| run_method(method, &prob.a, &prob.b, &prob.x0, &part, &opts))

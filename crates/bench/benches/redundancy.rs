@@ -55,15 +55,17 @@ fn bench_redundancy(c: &mut Criterion) {
             &part,
             &opts,
         );
-        assert!(
-            rep.converged_at.is_some(),
-            "r = {r} did not reach the target at the straggler gate point"
-        );
-        record_metric(
-            "redundancy",
-            &format!("r{r}_ticks_to_target"),
-            rep.converged_at.unwrap() as f64,
-        );
+        // A miss at the gate point is data, not a fatal error: emit the
+        // sentinel (-1) so the archived JSON still carries a row per r and
+        // the CI gate can flag it without killing the whole bench job.
+        let ticks = match rep.converged_at {
+            Some(t) => t as f64,
+            None => {
+                eprintln!("warning: r = {r} did not reach the target at the straggler gate point");
+                -1.0
+            }
+        };
+        record_metric("redundancy", &format!("r{r}_ticks_to_target"), ticks);
         record_metric(
             "redundancy",
             &format!("r{r}_msgs_redundancy"),

@@ -150,7 +150,7 @@ fn main() {
         n,
         a.nnz(),
         ranks,
-        part.imbalance(&Graph::from_matrix(&a)),
+        part.imbalance(&Graph::from_matrix(&a)).unwrap_or(f64::NAN),
         setup_time
     );
 

@@ -2,7 +2,7 @@
 
 use super::layout::LocalSystem;
 use super::local_solver::{LocalSolver, LocalSolverImpl};
-use super::msg::DistMsg;
+use super::msg::{DistMsg, SlabVec};
 use dsw_rma::{CommClass, Envelope, PhaseCtx, RankAlgorithm};
 
 /// One rank of the Block Jacobi iteration: every parallel step, relax the
@@ -98,13 +98,13 @@ impl RankAlgorithm for BlockJacobiRank {
                 ctx.record_relaxations(self.ls.nrows() as u64);
                 // Write updates to every neighbor's window.
                 for s in 0..self.ls.nneighbors() {
-                    let dr: Vec<f64> = self.ls.ghosts_of[s]
+                    let dr: SlabVec = self.ls.ghosts_of[s]
                         .iter()
                         .map(|&slot| self.ghost_dr[slot as usize])
                         .collect();
                     let msg = DistMsg::Solve {
                         dr,
-                        boundary_r: Vec::new(),
+                        boundary_r: SlabVec::new(),
                         norm_sq: 0.0,
                         est_of_target_sq: 0.0,
                     };

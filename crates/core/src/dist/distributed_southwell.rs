@@ -33,7 +33,7 @@
 
 use super::layout::LocalSystem;
 use super::local_solver::{LocalSolver, LocalSolverImpl};
-use super::msg::{DistMsg, SeqMsg};
+use super::msg::{DistMsg, SeqMsg, SlabVec};
 use super::recovery::{Recoverable, RecoveryConfig};
 use super::seq::{SeqIn, SeqVerdict};
 use crate::scalar::beats;
@@ -94,6 +94,11 @@ pub struct DistributedSouthwellRank {
     pub z: Vec<f64>,
     /// ‖r_p‖² cache.
     my_norm_sq: f64,
+    /// Whether `ls.r` changed since `my_norm_sq` was last computed (solve
+    /// deltas, audit repairs, or a local relaxation). While clean, the
+    /// cached norm is bit-identical to a recomputation — the norm is a
+    /// pure function of `r` — so the per-phase recompute is skipped.
+    norm_dirty: bool,
     /// Which neighbors this rank messaged in the previous phase
     /// (for the crossing-message rule).
     sent_prev_phase: Vec<bool>,
@@ -178,6 +183,7 @@ impl DistributedSouthwellRank {
                     tilde_sq,
                     z,
                     my_norm_sq: my,
+                    norm_dirty: true,
                     sent_prev_phase: vec![false; nb],
                     relaxed_last_step: false,
                     cfg,
@@ -210,6 +216,24 @@ impl DistributedSouthwellRank {
             .iter()
             .zip(&self.gamma_sq)
             .all(|(&q, &g)| beats(self.my_norm_sq, self.ls.rank, g, q))
+    }
+
+    /// Recomputes `my_norm_sq` only if `ls.r` changed since the last
+    /// computation. Skipping the recompute over an unchanged `r` yields
+    /// the exact same bits, so protocol decisions are unaffected.
+    #[inline]
+    fn refresh_norm(&mut self) {
+        if self.norm_dirty {
+            self.my_norm_sq = self.ls.residual_norm_sq();
+            self.norm_dirty = false;
+        }
+    }
+
+    /// Declares that `ls` was mutated out-of-band (test harnesses, fault
+    /// simulations), so the cached ‖r‖² must be recomputed at the next
+    /// phase. Protocol-internal mutations set the flag themselves.
+    pub fn invalidate_norm_cache(&mut self) {
+        self.norm_dirty = true;
     }
 
     /// Sequences (when enabled) and puts one protocol message to the
@@ -263,6 +287,7 @@ impl DistributedSouthwellRank {
                     for (&li, &d) in self.ls.boundary_rows_to[s].iter().zip(dr) {
                         self.ls.r[li as usize] += d;
                     }
+                    self.norm_dirty = true;
                     // The sender relaxed after its last audit snapshot, so
                     // the recorded ghost solution no longer matches.
                     self.audit_fresh[s] = false;
@@ -357,6 +382,7 @@ impl DistributedSouthwellRank {
             if (r_new - self.ls.r[i]).abs() > tol * (1.0 + r_new.abs()) {
                 self.ls.r[i] = r_new;
                 self.drift_repairs += 1;
+                self.norm_dirty = true;
             }
         }
         ctx.add_flops(flops);
@@ -400,7 +426,7 @@ impl RankAlgorithm for DistributedSouthwellRank {
                 // Read the deadlock-avoidance updates of the previous step.
                 self.apply_inbox(inbox, ctx);
                 self.sent_prev_phase.iter_mut().for_each(|f| *f = false);
-                self.my_norm_sq = self.ls.residual_norm_sq();
+                self.refresh_norm();
                 self.relaxed_last_step = self.wins();
                 if self.relaxed_last_step {
                     self.ghost_dr.iter_mut().for_each(|v| *v = 0.0);
@@ -408,6 +434,7 @@ impl RankAlgorithm for DistributedSouthwellRank {
                     ctx.add_flops(flops);
                     ctx.record_relaxations(self.ls.nrows() as u64);
                     self.my_norm_sq = self.ls.residual_norm_sq();
+                    self.norm_dirty = false;
                     // Local refinement: fold this relaxation's contribution
                     // into the ghost layer and the Γ estimates — no
                     // communication needed (formula (3) of the paper).
@@ -440,7 +467,7 @@ impl RankAlgorithm for DistributedSouthwellRank {
                         if thresh > 0.0 && acc_sq < thresh * thresh * self.my_norm_sq {
                             continue;
                         }
-                        let dr: Vec<f64> = self.ls.ghosts_of[s]
+                        let dr: SlabVec = self.ls.ghosts_of[s]
                             .iter()
                             .map(|&slot| {
                                 let slot = slot as usize;
@@ -467,8 +494,11 @@ impl RankAlgorithm for DistributedSouthwellRank {
                 // Read solve updates from neighbors that relaxed.
                 self.apply_inbox(inbox, ctx);
                 self.sent_prev_phase.iter_mut().for_each(|f| *f = false);
-                self.my_norm_sq = self.ls.residual_norm_sq();
-                ctx.add_flops(2 * self.ls.nrows() as u64);
+                if self.norm_dirty {
+                    self.my_norm_sq = self.ls.residual_norm_sq();
+                    self.norm_dirty = false;
+                    ctx.add_flops(2 * self.ls.nrows() as u64);
+                }
                 // Coalescing leak fix: deltas parked in `pending_dr` by the
                 // variable-threshold rule were only reconsidered on the
                 // rank's *next* relaxation — a rank that stopped winning
@@ -488,7 +518,7 @@ impl RankAlgorithm for DistributedSouthwellRank {
                         if acc_sq == 0.0 || acc_sq < thresh * thresh * self.my_norm_sq {
                             continue;
                         }
-                        let dr: Vec<f64> = self.ls.ghosts_of[s]
+                        let dr: SlabVec = self.ls.ghosts_of[s]
                             .iter()
                             .map(|&slot| {
                                 let slot = slot as usize;
@@ -759,6 +789,7 @@ mod tests {
         // Simulate the rank converging: its maintained residual hits zero
         // while the parked deltas are still undelivered.
         ex.ranks_mut()[p].ls.r.iter_mut().for_each(|v| *v = 0.0);
+        ex.ranks_mut()[p].invalidate_norm_cache();
         let neighbors = ex.ranks()[p].ls.neighbors.clone();
         let ghost_r_before: Vec<Vec<f64>> = neighbors
             .iter()

@@ -533,9 +533,17 @@ pub struct DistReport {
 }
 
 impl DistReport {
+    /// The last cumulative record. Infallible: every report carries the
+    /// step-0 baseline record from construction.
+    fn last_record(&self) -> &StepRecord {
+        self.records
+            .last()
+            .expect("a report holds at least the step-0 baseline record")
+    }
+
     /// Final residual norm.
     pub fn final_residual(&self) -> f64 {
-        self.records.last().unwrap().residual_norm
+        self.last_record().residual_norm
     }
 
     /// Convergence-monitor accounting: how many cheap maintained
@@ -547,39 +555,39 @@ impl DistReport {
 
     /// The paper's communication cost: total messages / ranks.
     pub fn comm_cost(&self) -> f64 {
-        self.records.last().unwrap().msgs as f64 / self.nranks as f64
+        self.last_record().msgs as f64 / self.nranks as f64
     }
 
     /// Modelled payload volume per rank, bytes (all classes).
     pub fn byte_cost(&self) -> f64 {
-        self.records.last().unwrap().bytes as f64 / self.nranks as f64
+        self.last_record().bytes as f64 / self.nranks as f64
     }
 
     /// Solve-class payload volume per rank, bytes.
     pub fn byte_cost_solve(&self) -> f64 {
-        self.records.last().unwrap().bytes_solve as f64 / self.nranks as f64
+        self.last_record().bytes_solve as f64 / self.nranks as f64
     }
 
     /// Explicit-residual payload volume per rank, bytes.
     pub fn byte_cost_residual(&self) -> f64 {
-        self.records.last().unwrap().bytes_residual as f64 / self.nranks as f64
+        self.last_record().bytes_residual as f64 / self.nranks as f64
     }
 
     /// Recovery payload volume per rank, bytes.
     pub fn byte_cost_recovery(&self) -> f64 {
-        self.records.last().unwrap().bytes_recovery as f64 / self.nranks as f64
+        self.last_record().bytes_recovery as f64 / self.nranks as f64
     }
 
     /// Redundancy payload volume per rank, bytes (replica fan-out copies;
     /// zero on uncoded runs).
     pub fn byte_cost_redundancy(&self) -> f64 {
-        self.records.last().unwrap().bytes_redundancy as f64 / self.nranks as f64
+        self.last_record().bytes_redundancy as f64 / self.nranks as f64
     }
 
     /// Redundancy messages per rank (the coded placement's overhead in the
     /// paper's communication metric).
     pub fn comm_cost_redundancy(&self) -> f64 {
-        self.records.last().unwrap().msgs_redundancy as f64 / self.nranks as f64
+        self.last_record().msgs_redundancy as f64 / self.nranks as f64
     }
 
     /// Mean fraction of active ranks per executed step.
@@ -886,7 +894,9 @@ fn push_record(
     s: &dsw_rma::StepStats,
     nranks: usize,
 ) {
-    let prev = *records.last().unwrap();
+    let prev = *records
+        .last()
+        .expect("push_record runs after the step-0 record is seeded");
     records.push(StepRecord {
         step,
         residual_norm: norm,
@@ -1148,7 +1158,7 @@ where
 
     for tick in 1..=budget {
         ex.tick();
-        let s = *ex.stats.steps.last().unwrap();
+        let s = *ex.stats.steps.last().expect("tick pushes a step record");
         window_relax += s.relaxations;
         window_msgs += s.msgs;
 

@@ -23,6 +23,81 @@ use dsw_partition::Partition;
 use dsw_sparse::{CsrMatrix, SparseError};
 use std::collections::HashMap;
 
+/// A struct-of-arrays arena of per-neighbor index lists.
+///
+/// All lists live back-to-back in one flat `data` buffer addressed by
+/// `offsets` (length `nlists + 1`), replacing the `Vec<Vec<u32>>` soup:
+/// a rank's entire ghost layer (or boundary map) is one contiguous
+/// allocation, walked slot-major with no per-list pointer chasing.
+/// Indexing with `arena[s]` yields the list for neighbor slot `s` as a
+/// plain `&[u32]`, so call sites read exactly like the nested-vec form.
+#[derive(Debug, Clone, Default)]
+pub struct SlotArena {
+    offsets: Vec<u32>,
+    data: Vec<u32>,
+}
+
+impl SlotArena {
+    /// Flattens per-slot lists into the arena form.
+    pub fn from_lists(lists: &[Vec<u32>]) -> Self {
+        let total: usize = lists.iter().map(Vec::len).sum();
+        assert!(total <= u32::MAX as usize, "slot arena exceeds u32 offsets");
+        let mut offsets = Vec::with_capacity(lists.len() + 1);
+        let mut data = Vec::with_capacity(total);
+        offsets.push(0u32);
+        for l in lists {
+            data.extend_from_slice(l);
+            data_offsets_push(&mut offsets, data.len());
+        }
+        SlotArena { offsets, data }
+    }
+
+    /// Number of per-slot lists.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Whether the arena holds no lists at all.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The list for slot `s`.
+    #[inline]
+    pub fn get(&self, s: usize) -> &[u32] {
+        &self.data[self.offsets[s] as usize..self.offsets[s + 1] as usize]
+    }
+
+    /// Iterates the lists in slot order.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = &[u32]> + '_ {
+        self.offsets
+            .windows(2)
+            .map(|w| &self.data[w[0] as usize..w[1] as usize])
+    }
+
+    /// Total entries across all lists (the flat buffer length).
+    #[inline]
+    pub fn total_len(&self) -> usize {
+        self.data.len()
+    }
+}
+
+#[inline]
+fn data_offsets_push(offsets: &mut Vec<u32>, len: usize) {
+    offsets.push(len as u32);
+}
+
+impl std::ops::Index<usize> for SlotArena {
+    type Output = [u32];
+    #[inline]
+    fn index(&self, s: usize) -> &[u32] {
+        self.get(s)
+    }
+}
+
 /// The per-rank piece of a distributed system.
 #[derive(Debug, Clone)]
 pub struct LocalSystem {
@@ -45,11 +120,12 @@ pub struct LocalSystem {
     /// Neighbor ranks (sorted). A neighbor is any rank owning a ghost column.
     pub neighbors: Vec<usize>,
     /// Per neighbor slot: the ghost slots owned by that neighbor
-    /// (in increasing global order).
-    pub ghosts_of: Vec<Vec<u32>>,
+    /// (in increasing global order), flat in one arena.
+    pub ghosts_of: SlotArena,
     /// Per neighbor slot: local rows adjacent to that neighbor
-    /// (in increasing global order — the agreed message ordering).
-    pub boundary_rows_to: Vec<Vec<u32>>,
+    /// (in increasing global order — the agreed message ordering),
+    /// flat in one arena.
+    pub boundary_rows_to: SlotArena,
     /// Reciprocal of the diagonal of `a_int`, one entry per owned row
     /// (validated nonzero and finite at [`distribute`] time so the sweeps
     /// never binary-search the diagonal or divide by zero mid-iteration).
@@ -80,9 +156,10 @@ impl LocalSystem {
             .expect("message from a non-neighbor rank")
     }
 
-    /// Squared 2-norm of the local residual.
+    /// Squared 2-norm of the local residual (4-lane kernel; the chunked
+    /// accumulation folds in index order, bit-identical to the naive sum).
     pub fn residual_norm_sq(&self) -> f64 {
-        self.r.iter().map(|v| v * v).sum()
+        dsw_sparse::vecops::norm2_sq(&self.r)
     }
 
     /// One Gauss–Seidel sweep over the owned rows (the paper's local
@@ -99,17 +176,19 @@ impl LocalSystem {
             let delta = self.r[i] * self.inv_diag[i];
             self.x[i] += delta;
             // In-block residual updates through the symmetric local row.
-            for (j, aij) in self.a_int.row(i) {
+            // Column indices within a row are distinct, so the scatter is
+            // order-free; the zipped slices drop per-element bounds checks.
+            let cols = self.a_int.row_cols(i);
+            for (&j, &aij) in cols.iter().zip(self.a_int.row_values(i)) {
                 self.r[j] -= aij * delta;
             }
             // Off-block contributions: a_{ji} = a_{ij}.
-            for k in self.a_ext_ptr[i]..self.a_ext_ptr[i + 1] {
-                ghost_dr[self.a_ext_idx[k] as usize] -= self.a_ext_val[k] * delta;
+            let ext = self.a_ext_ptr[i]..self.a_ext_ptr[i + 1];
+            let ext_n = ext.len() as u64;
+            for (&slot, &v) in self.a_ext_idx[ext.clone()].iter().zip(&self.a_ext_val[ext]) {
+                ghost_dr[slot as usize] -= v * delta;
             }
-            flops += 2
-                * (self.a_int.row_cols(i).len() as u64
-                    + (self.a_ext_ptr[i + 1] - self.a_ext_ptr[i]) as u64)
-                + 1;
+            flops += 2 * (cols.len() as u64 + ext_n) + 1;
         }
         flops
     }
@@ -124,27 +203,39 @@ impl LocalSystem {
             let i = iu as usize;
             let delta = self.r[i] * self.inv_diag[i];
             self.x[i] += delta;
-            for (j, aij) in self.a_int.row(i) {
+            let cols = self.a_int.row_cols(i);
+            for (&j, &aij) in cols.iter().zip(self.a_int.row_values(i)) {
                 self.r[j] -= aij * delta;
             }
-            for k in self.a_ext_ptr[i]..self.a_ext_ptr[i + 1] {
-                ghost_dr[self.a_ext_idx[k] as usize] -= self.a_ext_val[k] * delta;
+            let ext = self.a_ext_ptr[i]..self.a_ext_ptr[i + 1];
+            let ext_n = ext.len() as u64;
+            for (&slot, &v) in self.a_ext_idx[ext.clone()].iter().zip(&self.a_ext_val[ext]) {
+                ghost_dr[slot as usize] -= v * delta;
             }
-            flops += 2
-                * (self.a_int.row_cols(i).len() as u64
-                    + (self.a_ext_ptr[i + 1] - self.a_ext_ptr[i]) as u64)
-                + 1;
+            flops += 2 * (cols.len() as u64 + ext_n) + 1;
         }
         flops
     }
 
     /// The residual values at the boundary rows facing neighbor slot `s`,
-    /// in the agreed ordering.
-    pub fn boundary_residuals(&self, s: usize) -> Vec<f64> {
+    /// in the agreed ordering. Collected straight into the message slab, so
+    /// typical boundary sizes (≤ 8 rows) never touch the heap.
+    pub fn boundary_residuals(&self, s: usize) -> super::msg::SlabVec {
         self.boundary_rows_to[s]
             .iter()
             .map(|&i| self.r[i as usize])
             .collect()
+    }
+
+    /// Gathers the values of `src` at the slots listed for neighbor `s` in
+    /// `arena` into the recycled `out` buffer (cleared first). The scratch
+    /// variant of [`LocalSystem::boundary_residuals`]-style gathers: hot
+    /// paths reuse one allocation per rank across epochs instead of
+    /// allocating a fresh `Vec` per message.
+    #[inline]
+    pub fn gather_slots(arena: &SlotArena, s: usize, src: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(arena[s].iter().map(|&i| src[i as usize]));
     }
 }
 
@@ -274,8 +365,8 @@ pub fn distribute(
             a_ext_val,
             ext_cols,
             neighbors,
-            ghosts_of,
-            boundary_rows_to: boundary_sets,
+            ghosts_of: SlotArena::from_lists(&ghosts_of),
+            boundary_rows_to: SlotArena::from_lists(&boundary_sets),
             inv_diag,
             b: rows.iter().map(|&g| b[g]).collect(),
             x: rows.iter().map(|&g| x0[g]).collect(),

@@ -2,7 +2,7 @@
 
 use super::layout::LocalSystem;
 use super::local_solver::{LocalSolver, LocalSolverImpl};
-use super::msg::DistMsg;
+use super::msg::{DistMsg, SlabVec};
 use crate::scalar::beats;
 use dsw_rma::{CommClass, Envelope, PhaseCtx, RankAlgorithm};
 
@@ -159,13 +159,13 @@ impl RankAlgorithm for ParallelSouthwellRank {
                     self.my_norm_sq = self.ls.residual_norm_sq();
                     self.last_sent_norm_sq = self.my_norm_sq;
                     for s in 0..self.ls.nneighbors() {
-                        let dr: Vec<f64> = self.ls.ghosts_of[s]
+                        let dr: SlabVec = self.ls.ghosts_of[s]
                             .iter()
                             .map(|&slot| self.ghost_dr[slot as usize])
                             .collect();
                         let msg = DistMsg::Solve {
                             dr,
-                            boundary_r: Vec::new(),
+                            boundary_r: SlabVec::new(),
                             norm_sq: self.my_norm_sq,
                             est_of_target_sq: 0.0,
                         };
@@ -189,7 +189,7 @@ impl RankAlgorithm for ParallelSouthwellRank {
                 if self.explicit_updates && self.my_norm_sq != self.last_sent_norm_sq {
                     for s in 0..self.ls.nneighbors() {
                         let msg = DistMsg::Residual {
-                            boundary_r: Vec::new(),
+                            boundary_r: SlabVec::new(),
                             norm_sq: self.my_norm_sq,
                             est_of_target_sq: 0.0,
                         };

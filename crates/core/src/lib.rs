@@ -16,6 +16,10 @@
 //! a *sweep* is `n` row relaxations; a *parallel step* is one phase of
 //! simultaneous relaxations.
 
+// `unwrap()` is banned in non-test code (clippy `disallowed-methods`, see
+// clippy.toml): use `expect` naming the invariant, or propagate the error.
+#![cfg_attr(not(test), deny(clippy::disallowed_methods))]
+
 pub mod dist;
 pub mod history;
 pub mod scalar;

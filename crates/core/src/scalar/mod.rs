@@ -130,7 +130,8 @@ impl<'a> ScalarState<'a> {
     pub fn sample_if_due(&mut self) -> Option<f64> {
         if self.relaxations >= self.next_sample {
             self.sample();
-            Some(self.history.samples.last().unwrap().residual_norm)
+            let last = self.history.samples.last();
+            Some(last.expect("sample() just pushed").residual_norm)
         } else {
             None
         }
@@ -140,7 +141,8 @@ impl<'a> ScalarState<'a> {
     pub fn end_parallel_step(&mut self) -> f64 {
         self.history.step_boundaries.push(self.relaxations);
         self.sample();
-        self.history.samples.last().unwrap().residual_norm
+        let last = self.history.samples.last();
+        last.expect("sample() just pushed").residual_norm
     }
 
     /// Finalizes the history and returns `(x, history)`.
@@ -155,7 +157,12 @@ impl<'a> ScalarState<'a> {
             self.sample();
         }
         self.history.total_relaxations = self.relaxations;
-        self.history.final_residual = self.history.samples.last().unwrap().residual_norm;
+        self.history.final_residual = self
+            .history
+            .samples
+            .last()
+            .expect("finish() samples when the history is empty")
+            .residual_norm;
         (self.x, self.history)
     }
 }

@@ -18,6 +18,10 @@
 //!   block placement (each block hosted by `r` ranks) for straggler
 //!   resilience, with [`PartitionError`] covering degenerate requests.
 
+// `unwrap()` is banned in non-test code (clippy `disallowed-methods`, see
+// clippy.toml): use `expect` naming the invariant, or propagate the error.
+#![cfg_attr(not(test), deny(clippy::disallowed_methods))]
+
 pub mod coloring;
 pub mod graph;
 pub mod partitioner;

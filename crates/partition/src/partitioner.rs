@@ -39,6 +39,14 @@ pub enum PartitionError {
         /// The part count.
         nparts: usize,
     },
+    /// The part-weight vector is empty or carries no weight, so a
+    /// balance ratio over it is undefined.
+    DegenerateWeights {
+        /// The part count.
+        nparts: usize,
+        /// Total vertex weight seen.
+        total: u64,
+    },
 }
 
 impl std::fmt::Display for PartitionError {
@@ -60,6 +68,13 @@ impl std::fmt::Display for PartitionError {
                 write!(
                     f,
                     "redundancy r must satisfy 1 <= r <= nparts (got r = {r}, nparts = {nparts})"
+                )
+            }
+            PartitionError::DegenerateWeights { nparts, total } => {
+                write!(
+                    f,
+                    "imbalance undefined: no part weights (nparts = {nparts}, \
+                     total vertex weight = {total})"
                 )
             }
         }
@@ -164,14 +179,32 @@ impl Partition {
 
     /// Maximum part weight divided by the average part weight (≥ 1; 1 is
     /// perfectly balanced).
-    pub fn imbalance(&self, g: &Graph) -> f64 {
+    ///
+    /// Errs instead of panicking when the ratio is undefined: an empty
+    /// part-weight slice (degenerate `nparts`) or a graph whose assigned
+    /// vertices carry zero total weight (which would divide by zero).
+    pub fn imbalance(&self, g: &Graph) -> Result<f64, PartitionError> {
         let mut wgt = vec![0u64; self.nparts];
         for (v, &p) in self.assignment.iter().enumerate() {
             wgt[p] += g.vertex_weight(v);
         }
-        let max = *wgt.iter().max().unwrap() as f64;
-        let avg = g.total_vertex_weight() as f64 / self.nparts as f64;
-        max / avg
+        let max = match wgt.iter().max() {
+            Some(&m) => m as f64,
+            None => {
+                return Err(PartitionError::DegenerateWeights {
+                    nparts: self.nparts,
+                    total: 0,
+                })
+            }
+        };
+        let total = g.total_vertex_weight();
+        if total == 0 {
+            return Err(PartitionError::DegenerateWeights {
+                nparts: self.nparts,
+                total,
+            });
+        }
+        Ok(max / (total as f64 / self.nparts as f64))
     }
 
     /// Whether every part has at least one row.
@@ -333,7 +366,7 @@ fn fix_empty_parts(g: &Graph, part: &mut Partition) {
             .enumerate()
             .max_by_key(|&(_, &s)| s)
             .map(|(p, _)| p)
-            .unwrap();
+            .expect("sizes() has one entry per part and nparts > 0");
         let victim = (0..g.nvertices())
             .filter(|&v| part.assignment[v] == donor)
             .min_by_key(|&v| g.degree(v))
@@ -383,8 +416,8 @@ pub fn partition_multilevel(g: &Graph, nparts: usize, opts: MultilevelOptions) -
     let mut maps: Vec<Vec<usize>> = Vec::new(); // fine vertex -> coarse vertex
     let stop = opts.coarsen_to.max(8 * nparts);
     let mut rng = StdRng::seed_from_u64(opts.seed);
-    while levels.last().unwrap().nvertices() > stop {
-        let cur = levels.last().unwrap();
+    while levels.last().is_some_and(|l| l.nvertices() > stop) {
+        let cur = levels.last().expect("levels starts with the input graph");
         let (coarse, map) = coarsen_hem(cur, &mut rng);
         // Stalled coarsening (highly irregular graphs): stop.
         if coarse.nvertices() as f64 > 0.95 * cur.nvertices() as f64 {
@@ -395,7 +428,7 @@ pub fn partition_multilevel(g: &Graph, nparts: usize, opts: MultilevelOptions) -
     }
 
     // Initial partition on the coarsest level.
-    let coarsest = levels.last().unwrap();
+    let coarsest = levels.last().expect("levels starts with the input graph");
     let mut part = partition_greedy_growing(coarsest, nparts, opts.seed ^ 0x9e3779b9);
     refine_boundary(coarsest, &mut part, opts.refine_passes, opts.balance_tol);
 
@@ -585,7 +618,8 @@ mod tests {
         let g = Graph::from_matrix(&a);
         let p = partition_greedy_growing(&g, 8, 1);
         assert!(p.all_parts_nonempty());
-        assert!(p.imbalance(&g) < 1.5, "imbalance {}", p.imbalance(&g));
+        let imb = p.imbalance(&g).unwrap();
+        assert!(imb < 1.5, "imbalance {imb}");
     }
 
     #[test]
@@ -595,7 +629,8 @@ mod tests {
         let strip = partition_strip(g.nvertices(), 16);
         let ml = partition_multilevel(&g, 16, MultilevelOptions::default());
         assert!(ml.all_parts_nonempty());
-        assert!(ml.imbalance(&g) <= 1.25, "imbalance {}", ml.imbalance(&g));
+        let imb = ml.imbalance(&g).unwrap();
+        assert!(imb <= 1.25, "imbalance {imb}");
         assert!(
             ml.edge_cut(&g) < strip.edge_cut(&g),
             "ml cut {} !< strip cut {}",
@@ -610,7 +645,8 @@ mod tests {
         let g = Graph::from_matrix(&a);
         let p = partition_multilevel(&g, 8, MultilevelOptions::default());
         assert!(p.all_parts_nonempty());
-        assert!(p.imbalance(&g) <= 1.3, "imbalance {}", p.imbalance(&g));
+        let imb = p.imbalance(&g).unwrap();
+        assert!(imb <= 1.3, "imbalance {imb}");
         // A decent 8-way cut of a 10^3 grid is well under the worst case.
         assert!(p.edge_cut(&g) < 600.0, "cut {}", p.edge_cut(&g));
     }
@@ -695,5 +731,31 @@ mod tests {
         let single = try_partition_strip(4, 1).unwrap();
         assert_eq!(single.sizes(), vec![4]);
         assert_eq!(single.validate_nonempty(), Ok(()));
+    }
+
+    #[test]
+    fn imbalance_errs_on_degenerate_weights_instead_of_panicking() {
+        // A graph whose vertices carry zero weight makes the max/avg ratio
+        // undefined; previously the empty/zero-weight part slice aborted on
+        // `max().unwrap()` or silently divided by zero.
+        let g = Graph::from_parts(vec![0, 0, 0], vec![], vec![], vec![0, 0]);
+        let p = Partition::try_new(2, vec![0, 1]).unwrap();
+        assert_eq!(
+            p.imbalance(&g),
+            Err(PartitionError::DegenerateWeights {
+                nparts: 2,
+                total: 0
+            })
+        );
+        assert!(p
+            .imbalance(&g)
+            .unwrap_err()
+            .to_string()
+            .contains("imbalance undefined"));
+        // Healthy inputs still produce the plain ratio.
+        let a = grid2d_poisson(4, 4);
+        let gg = Graph::from_matrix(&a);
+        let ok = partition_strip(16, 4);
+        assert!((ok.imbalance(&gg).unwrap() - 1.0).abs() < 1e-12);
     }
 }

@@ -225,12 +225,21 @@ impl<A: RankAlgorithm> AsyncExecutor<A> {
     /// minimum when no groups are declared).
     fn lag_gate(&self) -> usize {
         match &self.lag_groups {
-            None => *self.clock.iter().min().unwrap(),
+            None => *self
+                .clock
+                .iter()
+                .min()
+                .expect("an executor has at least one rank"),
             Some(groups) => groups
                 .iter()
-                .map(|g| g.iter().map(|&m| self.clock[m as usize]).max().unwrap())
+                .map(|g| {
+                    g.iter()
+                        .map(|&m| self.clock[m as usize])
+                        .max()
+                        .expect("lag groups are validated non-empty")
+                })
                 .min()
-                .unwrap(),
+                .expect("lag groups are validated non-empty"),
         }
     }
 
@@ -241,7 +250,12 @@ impl<A: RankAlgorithm> AsyncExecutor<A> {
             None => self.clock.clone(),
             Some(groups) => groups
                 .iter()
-                .map(|g| g.iter().map(|&m| self.clock[m as usize]).max().unwrap())
+                .map(|g| {
+                    g.iter()
+                        .map(|&m| self.clock[m as usize])
+                        .max()
+                        .expect("lag groups are validated non-empty")
+                })
                 .collect(),
         }
     }

@@ -29,6 +29,10 @@
 //!   Per phase the charge is `max` over ranks — ranks progress together
 //!   through epochs, so the slowest rank gates each phase.
 
+// `unwrap()` is banned in non-test code (clippy `disallowed-methods`, see
+// clippy.toml): use `expect` naming the invariant, or propagate the error.
+#![cfg_attr(not(test), deny(clippy::disallowed_methods))]
+
 pub mod async_exec;
 pub mod executor;
 pub mod fault;

@@ -119,7 +119,10 @@ impl WorkerPool {
         }
         let shared = &*self.shared;
         {
-            let mut st = shared.state.lock().unwrap();
+            let mut st = shared
+                .state
+                .lock()
+                .expect("a pool worker panicked while holding the state lock");
             shared.cursor.store(0, Ordering::Relaxed);
             // SAFETY: we erase the lifetime, then block below until every
             // worker reports done, which happens-after its last use of the
@@ -137,9 +140,15 @@ impl WorkerPool {
             st.generation += 1;
             shared.work_cv.notify_all();
         }
-        let mut st = shared.state.lock().unwrap();
+        let mut st = shared
+            .state
+            .lock()
+            .expect("a pool worker panicked while holding the state lock");
         while st.done < self.handles.len() {
-            st = shared.done_cv.wait(st).unwrap();
+            st = shared
+                .done_cv
+                .wait(st)
+                .expect("a pool worker panicked while holding the state lock");
         }
         st.task = None;
     }
@@ -148,7 +157,11 @@ impl WorkerPool {
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         {
-            let mut st = self.shared.state.lock().unwrap();
+            let mut st = self
+                .shared
+                .state
+                .lock()
+                .expect("a pool worker panicked while holding the state lock");
             st.shutdown = true;
             self.shared.work_cv.notify_all();
         }
@@ -162,7 +175,10 @@ fn worker_loop(shared: &Shared, w: usize) {
     let mut seen = 0u64;
     loop {
         let (task, ntasks, grain) = {
-            let mut st = shared.state.lock().unwrap();
+            let mut st = shared
+                .state
+                .lock()
+                .expect("a pool worker panicked while holding the state lock");
             loop {
                 if st.shutdown {
                     return;
@@ -172,7 +188,10 @@ fn worker_loop(shared: &Shared, w: usize) {
                     let TaskPtr(ptr) = *st.task.as_ref().expect("dispatch has a task");
                     break (ptr, st.ntasks, st.grain);
                 }
-                st = shared.work_cv.wait(st).unwrap();
+                st = shared
+                    .work_cv
+                    .wait(st)
+                    .expect("dispatch panicked while holding the state lock");
             }
         };
         let t0 = Instant::now();
@@ -188,7 +207,10 @@ fn worker_loop(shared: &Shared, w: usize) {
             }
         }
         shared.busy_ns[w].fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        let mut st = shared.state.lock().unwrap();
+        let mut st = shared
+            .state
+            .lock()
+            .expect("a pool worker panicked while holding the state lock");
         st.done += 1;
         if st.done == shared.busy_ns.len() {
             shared.done_cv.notify_one();

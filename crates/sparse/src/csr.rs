@@ -35,7 +35,8 @@ impl CsrMatrix {
                 nrows + 1
             )));
         }
-        if row_ptr[0] != 0 || *row_ptr.last().unwrap() != col_idx.len() {
+        if row_ptr[0] != 0 || *row_ptr.last().expect("len checked = nrows+1 >= 1") != col_idx.len()
+        {
             return Err(SparseError::Shape(
                 "row_ptr must start at 0 and end at nnz".into(),
             ));
@@ -167,15 +168,18 @@ impl CsrMatrix {
     }
 
     /// Dense `y = A x`.
+    ///
+    /// The per-row accumulation walks 4-entry chunks (bounds checks hoisted,
+    /// products computed lane-wise) but folds the products into the
+    /// accumulator in the original left-to-right order, so the result is
+    /// bit-identical to the naive scalar loop.
     pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.ncols, "spmv: x length mismatch");
         assert_eq!(y.len(), self.nrows, "spmv: y length mismatch");
         for (i, yi) in y.iter_mut().enumerate() {
-            let mut acc = 0.0;
-            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
-                acc += self.values[k] * x[self.col_idx[k]];
-            }
-            *yi = acc;
+            let lo = self.row_ptr[i];
+            let hi = self.row_ptr[i + 1];
+            *yi = crate::vecops::gather_dot(&self.values[lo..hi], &self.col_idx[lo..hi], x);
         }
     }
 
@@ -355,8 +359,19 @@ impl CooBuilder {
     }
 
     /// Adds `v` to entry `(i, j)`.
+    ///
+    /// # Panics
+    /// If `(i, j)` is out of bounds — in release builds too. A silent
+    /// out-of-range entry would otherwise ride along until `build`
+    /// (or corrupt assembly logic that reads `entries` back), so the
+    /// bounds check is unconditional.
     pub fn push(&mut self, i: usize, j: usize, v: f64) {
-        debug_assert!(i < self.nrows && j < self.ncols, "entry out of bounds");
+        assert!(
+            i < self.nrows && j < self.ncols,
+            "entry ({i},{j}) out of bounds for {}x{} builder",
+            self.nrows,
+            self.ncols
+        );
         self.entries.push((i, j, v));
     }
 
@@ -381,7 +396,7 @@ impl CooBuilder {
                 return Err(SparseError::Shape(format!("entry ({i},{j}) out of bounds")));
             }
             if prev == Some((i, j)) {
-                *values.last_mut().unwrap() += v;
+                *values.last_mut().expect("prev set implies a pushed value") += v;
                 continue;
             }
             prev = Some((i, j));
@@ -432,8 +447,18 @@ mod tests {
     #[test]
     fn builder_rejects_out_of_bounds() {
         let mut b = CooBuilder::new(2, 2);
-        b.entries.push((5, 0, 1.0)); // bypass debug_assert
+        b.entries.push((5, 0, 1.0)); // bypass push's check
         assert!(matches!(b.build(), Err(SparseError::Shape(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn push_bounds_check_is_unconditional() {
+        // Regression: this was a debug_assert!, so release builds silently
+        // accepted garbage indices until build() (or never, for callers
+        // reading entries back). It must abort in every profile.
+        let mut b = CooBuilder::new(2, 2);
+        b.push(5, 0, 1.0);
     }
 
     #[test]

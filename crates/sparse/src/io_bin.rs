@@ -33,6 +33,73 @@ fn read_u64<R: Read>(r: &mut R) -> Result<u64> {
     Ok(u64::from_le_bytes(buf))
 }
 
+/// Words per bulk-transfer chunk (512 KiB of bytes). Bounded so a lying
+/// header can never force a huge up-front allocation: output vectors grow
+/// only as payload bytes actually arrive from the stream.
+const CHUNK_WORDS: usize = 1 << 16;
+
+/// Reads `n` little-endian u64 words as `usize`, in bulk chunks.
+fn read_u64_vec<R: Read>(r: &mut R, n: usize) -> Result<Vec<usize>> {
+    let mut out = Vec::with_capacity(n.min(CHUNK_WORDS));
+    let mut buf = vec![0u8; n.min(CHUNK_WORDS) * 8];
+    let mut left = n;
+    while left > 0 {
+        let take = left.min(CHUNK_WORDS);
+        let bytes = &mut buf[..take * 8];
+        r.read_exact(bytes)?;
+        out.reserve(take);
+        for w in bytes.chunks_exact(8) {
+            out.push(u64::from_le_bytes(w.try_into().expect("8-byte chunk")) as usize);
+        }
+        left -= take;
+    }
+    Ok(out)
+}
+
+/// Reads `n` little-endian f64 values, in bulk chunks.
+fn read_f64_vec<R: Read>(r: &mut R, n: usize) -> Result<Vec<f64>> {
+    let mut out = Vec::with_capacity(n.min(CHUNK_WORDS));
+    let mut buf = vec![0u8; n.min(CHUNK_WORDS) * 8];
+    let mut left = n;
+    while left > 0 {
+        let take = left.min(CHUNK_WORDS);
+        let bytes = &mut buf[..take * 8];
+        r.read_exact(bytes)?;
+        out.reserve(take);
+        for w in bytes.chunks_exact(8) {
+            out.push(f64::from_le_bytes(w.try_into().expect("8-byte chunk")));
+        }
+        left -= take;
+    }
+    Ok(out)
+}
+
+/// Serializes `usize` words to little-endian u64 bytes in bulk chunks.
+fn write_u64_slice<W: Write>(w: &mut W, vals: &[usize]) -> Result<()> {
+    let mut buf = vec![0u8; vals.len().min(CHUNK_WORDS) * 8];
+    for chunk in vals.chunks(CHUNK_WORDS) {
+        let bytes = &mut buf[..chunk.len() * 8];
+        for (b, &v) in bytes.chunks_exact_mut(8).zip(chunk) {
+            b.copy_from_slice(&(v as u64).to_le_bytes());
+        }
+        w.write_all(bytes)?;
+    }
+    Ok(())
+}
+
+/// Serializes f64 values to little-endian bytes in bulk chunks.
+fn write_f64_slice<W: Write>(w: &mut W, vals: &[f64]) -> Result<()> {
+    let mut buf = vec![0u8; vals.len().min(CHUNK_WORDS) * 8];
+    for chunk in vals.chunks(CHUNK_WORDS) {
+        let bytes = &mut buf[..chunk.len() * 8];
+        for (b, &v) in bytes.chunks_exact_mut(8).zip(chunk) {
+            b.copy_from_slice(&v.to_le_bytes());
+        }
+        w.write_all(bytes)?;
+    }
+    Ok(())
+}
+
 /// Writes a matrix in the binary format.
 pub fn write_bin<W: Write>(a: &CsrMatrix, writer: W) -> Result<()> {
     let mut w = BufWriter::new(writer);
@@ -41,21 +108,21 @@ pub fn write_bin<W: Write>(a: &CsrMatrix, writer: W) -> Result<()> {
     write_u64(&mut w, a.nrows() as u64)?;
     write_u64(&mut w, a.ncols() as u64)?;
     write_u64(&mut w, a.nnz() as u64)?;
-    for &p in a.row_ptr() {
-        write_u64(&mut w, p as u64)?;
-    }
-    for &c in a.col_idx() {
-        write_u64(&mut w, c as u64)?;
-    }
-    for &v in a.values() {
-        w.write_all(&v.to_le_bytes())?;
-    }
+    write_u64_slice(&mut w, a.row_ptr())?;
+    write_u64_slice(&mut w, a.col_idx())?;
+    write_f64_slice(&mut w, a.values())?;
     w.flush()?;
     Ok(())
 }
 
 /// Reads a matrix in the binary format, validating the header and the CSR
 /// invariants.
+///
+/// Header fields are u64 on disk and are validated *before* any cast or
+/// payload allocation, so a lying header (say a >4Gi-entry `nnz` on a
+/// 100-byte file) fails with a clean error instead of attempting a
+/// multi-gigabyte allocation; payload vectors then grow chunk by chunk,
+/// only as bytes actually arrive.
 pub fn read_bin<R: Read>(reader: R) -> Result<CsrMatrix> {
     let mut r = BufReader::new(reader);
     let mut magic = [0u8; 4];
@@ -71,30 +138,21 @@ pub fn read_bin<R: Read>(reader: R) -> Result<CsrMatrix> {
             "unsupported DSWB version {version}"
         )));
     }
-    let nrows = read_u64(&mut r)? as usize;
-    let ncols = read_u64(&mut r)? as usize;
-    let nnz = read_u64(&mut r)? as usize;
-    // Guard against absurd headers before allocating.
-    const LIMIT: usize = 1 << 33;
-    if nrows >= LIMIT || ncols >= LIMIT || nnz >= LIMIT {
-        return Err(SparseError::Parse(
-            "header dimensions implausibly large".into(),
-        ));
+    let nrows64 = read_u64(&mut r)?;
+    let ncols64 = read_u64(&mut r)?;
+    let nnz64 = read_u64(&mut r)?;
+    // Guard against absurd headers before casting or allocating.
+    const LIMIT: u64 = 1 << 33;
+    if nrows64 >= LIMIT || ncols64 >= LIMIT || nnz64 >= LIMIT {
+        return Err(SparseError::Parse(format!(
+            "header dimensions implausibly large \
+             (nrows = {nrows64}, ncols = {ncols64}, nnz = {nnz64})"
+        )));
     }
-    let mut row_ptr = Vec::with_capacity(nrows + 1);
-    for _ in 0..=nrows {
-        row_ptr.push(read_u64(&mut r)? as usize);
-    }
-    let mut col_idx = Vec::with_capacity(nnz);
-    for _ in 0..nnz {
-        col_idx.push(read_u64(&mut r)? as usize);
-    }
-    let mut values = Vec::with_capacity(nnz);
-    let mut fbuf = [0u8; 8];
-    for _ in 0..nnz {
-        r.read_exact(&mut fbuf)?;
-        values.push(f64::from_le_bytes(fbuf));
-    }
+    let (nrows, ncols, nnz) = (nrows64 as usize, ncols64 as usize, nnz64 as usize);
+    let row_ptr = read_u64_vec(&mut r, nrows + 1)?;
+    let col_idx = read_u64_vec(&mut r, nnz)?;
+    let values = read_f64_vec(&mut r, nnz)?;
     CsrMatrix::from_parts(nrows, ncols, row_ptr, col_idx, values)
 }
 
@@ -151,6 +209,28 @@ mod tests {
         write_bin(&gen::grid2d_poisson(4, 4), &mut buf).unwrap();
         buf.truncate(buf.len() - 9);
         assert!(read_bin(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn lying_headers_err_cleanly_without_allocating() {
+        // A >4Gi-entry nnz field on a near-empty stream must be rejected
+        // at header validation, long before any payload allocation.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&2u64.to_le_bytes()); // nrows
+        buf.extend_from_slice(&2u64.to_le_bytes()); // ncols
+        buf.extend_from_slice(&(1u64 << 33).to_le_bytes()); // nnz at LIMIT
+        assert!(matches!(read_bin(&buf[..]), Err(SparseError::Parse(_))));
+        // u64::MAX fields must not wrap or cast badly either.
+        let at = buf.len() - 8;
+        buf[at..].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(read_bin(&buf[..]), Err(SparseError::Parse(_))));
+        // A large-but-legal nnz on a truncated stream errs on the missing
+        // bytes; the chunked reader caps the up-front allocation to one
+        // transfer chunk, so this cannot OOM.
+        buf[at..].copy_from_slice(&((1u64 << 33) - 1).to_le_bytes());
+        assert!(matches!(read_bin(&buf[..]), Err(SparseError::Io(_))));
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //!   SuiteSparse test matrices (Table 1),
 //! * [`io`] — Matrix Market (`.mtx`) reading and writing,
 //! * [`vecops`] — the handful of dense-vector kernels the solvers use.
+#![cfg_attr(feature = "nightly-simd", feature(portable_simd))]
 
 pub mod analysis;
 pub mod csr;

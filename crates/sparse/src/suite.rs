@@ -15,12 +15,15 @@
 //! Every matrix is SPD and is symmetrically scaled to unit diagonal by
 //! [`SuiteEntry::build`], exactly as in §4.2 of the paper.
 //!
-//! If you have the original SuiteSparse files, read them with
-//! [`crate::io::read_matrix_market_file`] and run the same harness on them.
+//! If you have the original SuiteSparse files, point
+//! [`SuiteEntry::load_real`] at the directory holding them (Matrix Market
+//! or DSWB binary); the loader converts `.mtx` files to a binary cache on
+//! first read so reruns skip ASCII parsing.
 
 use crate::gen::fe::FeMeshOptions;
 use crate::gen::{clique_grid2d, clique_grid3d, fe_clique, grid2d_poisson, CliqueOptions};
-use crate::CsrMatrix;
+use crate::{CsrMatrix, SparseError};
+use std::path::Path;
 
 /// The Block Jacobi behaviour the paper reports for the original matrix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,6 +84,42 @@ impl SuiteEntry {
         }
     }
 
+    /// Loads the *real* SuiteSparse matrix this entry stands in for from
+    /// `dir`, applying the paper's symmetric unit-diagonal scaling exactly
+    /// like the synthetic stand-ins.
+    ///
+    /// The loader prefers the binary cache and falls back to Matrix
+    /// Market: `<name>.mtx.bin`, then `<name>.bin`, then `<name>.mtx`.
+    /// After a successful `.mtx` parse it writes `<name>.mtx.bin` next to
+    /// the source (best effort — a read-only directory is fine) so the
+    /// next load takes the bulk binary path instead of ASCII parsing.
+    pub fn load_real<P: AsRef<Path>>(&self, dir: P) -> crate::Result<CsrMatrix> {
+        let dir = dir.as_ref();
+        let bin_cache = dir.join(format!("{}.mtx.bin", self.name));
+        let mut a = if bin_cache.is_file() {
+            crate::io_bin::read_bin_file(&bin_cache)?
+        } else {
+            let bare_bin = dir.join(format!("{}.bin", self.name));
+            if bare_bin.is_file() {
+                crate::io_bin::read_bin_file(&bare_bin)?
+            } else {
+                let mtx = dir.join(format!("{}.mtx", self.name));
+                if !mtx.is_file() {
+                    return Err(SparseError::Io(format!(
+                        "no {}.mtx[.bin] under {}",
+                        self.name,
+                        dir.display()
+                    )));
+                }
+                let parsed = crate::io::read_matrix_market_file(&mtx)?;
+                let _ = crate::io_bin::write_bin_file(&parsed, &bin_cache);
+                parsed
+            }
+        };
+        a.scale_unit_diagonal()?;
+        Ok(a)
+    }
+
     /// A reduced-size version of the same recipe (dimensions multiplied by
     /// `factor`, minimum 3), for fast tests. Same coupling/regime character.
     pub fn build_small(&self, factor: f64) -> CsrMatrix {
@@ -98,7 +137,8 @@ impl SuiteEntry {
             }
             Recipe::Poisson2d(nx, ny) => grid2d_poisson(s(nx), s(ny)),
         };
-        a.scale_unit_diagonal().unwrap();
+        a.scale_unit_diagonal()
+            .expect("generated SPD matrices have nonzero diagonals");
         a
     }
 }
