@@ -3,7 +3,7 @@
 //! ```text
 //! experiments [--scale F] [--ranks N] [--steps K] [--out DIR] <ids...>
 //!   ids: fig1 fig2 fig5 fig6 table1 table2 table3 table4 fig7 fig8 fig9
-//!        ablation threshold comm chaos async redundancy all smoke
+//!        ablation threshold comm chaos async redundancy serve all smoke
 //! ```
 
 use dsw_bench::experiments::fig2::{run_fig2, run_fig5};
@@ -44,7 +44,7 @@ fn main() {
         eprintln!(
             "usage: experiments [--scale F] [--ranks N] [--steps K] [--out DIR] <ids...>\n\
              ids: fig1 fig2 fig5 fig6 table1 table2 table3 table4 fig7 fig8 fig9\n\
-                  ablation threshold comm chaos async redundancy all smoke"
+                  ablation threshold comm chaos async redundancy serve all smoke"
         );
         std::process::exit(2);
     }
@@ -109,6 +109,9 @@ fn main() {
             }
             "redundancy" => {
                 dsw_bench::experiments::redundancy::run_redundancy(&ctx);
+            }
+            "serve" => {
+                dsw_bench::experiments::serve::run_serve(&ctx);
             }
             "all" => {
                 dsw_bench::experiments::fig1::run_fig1(&ctx);
@@ -175,6 +178,7 @@ fn main() {
                 dsw_bench::experiments::chaos::run_chaos(&ctx);
                 dsw_bench::experiments::async_convergence::run_async_convergence(&ctx);
                 dsw_bench::experiments::redundancy::run_redundancy(&ctx);
+                dsw_bench::experiments::serve::run_serve(&ctx);
             }
             "smoke" => {
                 let sctx = ExperimentCtx::smoke();

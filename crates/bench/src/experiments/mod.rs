@@ -16,6 +16,7 @@
 //! | chaos  | DS on an unreliable transport, recovery off vs on       |
 //! | async  | DS vs PS vs BJ on the asynchronous backend (lag × skew) |
 //! | redundancy | coded block placement r ∈ {1,2,3} × straggler skew  |
+//! | serve  | multiplexed tenants on one pool vs serialized rebuilds  |
 
 pub mod ablation;
 pub mod async_convergence;
@@ -27,6 +28,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod redundancy;
 pub mod scaling;
+pub mod serve;
 pub mod suite_tables;
 pub mod table1;
 pub mod threshold;

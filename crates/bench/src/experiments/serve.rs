@@ -1,0 +1,312 @@
+//! Serve-throughput study (beyond the paper's tables): many tenants'
+//! repeated solves multiplexed over one [`dsw_serve::SolveService`]
+//! versus a stateless serialized baseline.
+//!
+//! Both sides solve the *same* job stream — per tenant, a sequence of
+//! slowly drifting right-hand sides on a §4.2 Poisson system over 64
+//! ranks, each solve starting from the previous solution. The multiplexed
+//! side keeps a persistent [`TenantSession`] per tenant (partition,
+//! routed topology, rank state, and monitor scratch built once at
+//! registration) and warm-starts every solve by re-seeding residuals; the
+//! serialized baseline re-partitions, re-distributes, and rebuilds the
+//! executor for every request, the way a stateless server would. The
+//! iteration work is identical by construction — the measured gap is
+//! pure per-solve setup amortization, which is exactly the serving
+//! layer's claim.
+//!
+//! [`TenantSession`]: dsw_core::dist::TenantSession
+
+use crate::harness::{setup_problem, suite_partition, write_csv, ExperimentCtx};
+use dsw_core::dist::{run_method, DistOptions, ExecBackend, Method};
+use dsw_partition::Partition;
+use dsw_rma::ExecMode;
+use dsw_serve::{ServeConfig, ServiceStats, SolveService, TenantId};
+use dsw_sparse::{gen, CsrMatrix};
+use std::time::Instant;
+
+/// Rank count of the serve problem (the paper's §4.2 scale).
+pub const RANKS: usize = 64;
+
+/// Grid side: 32×32 Poisson (1024 rows, 16 rows per rank).
+pub const GRID: usize = 32;
+
+/// Convergence target of every solve (the paper's Table 2 rule).
+pub const TARGET: f64 = 0.1;
+
+/// Worker threads in the shared pool.
+pub const WORKERS: usize = 2;
+
+/// Supersteps per scheduler visit.
+pub const QUANTUM: usize = 4;
+
+/// Timed solves per tenant (after one untimed priming solve).
+pub const JOBS: usize = 3;
+
+/// The CI gate: multiplexed solves/sec must be at least this multiple of
+/// the serialized baseline at 64+ tenants.
+pub const GATE_SPEEDUP: f64 = 2.0;
+
+/// The method the CI gate runs. Block Jacobi's convergence tail is a
+/// handful of supersteps, so warm re-solves turn over fast and the
+/// measurement isolates the serving layer (scheduler + setup
+/// amortization) instead of the solver's tail. Distributed Southwell —
+/// whose near-target tail relaxes only the locally-maximal ranks and
+/// therefore takes an input-sensitive 50–300 supersteps — is recorded
+/// alongside, ungated.
+pub const GATE_METHOD: Method = Method::BlockJacobi;
+
+/// The §4.2 serve problem: unit-diagonal Poisson, b = 0 initially, unit
+/// initial residual, multilevel partition over [`RANKS`] ranks.
+pub fn serve_problem() -> (CsrMatrix, Vec<f64>, Vec<f64>, Partition) {
+    let mut a = gen::grid2d_poisson(GRID, GRID);
+    a.scale_unit_diagonal()
+        .expect("Poisson diagonal is nonzero");
+    let prob = setup_problem(a, 11);
+    let part = suite_partition(&prob.a, RANKS, 1);
+    (prob.a, prob.b, prob.x0, part)
+}
+
+/// Solver options for both sides: superstep backend, exact monitor off
+/// the hot path is not needed — the default maintained monitor matches
+/// what the paper's drives use.
+pub fn serve_opts() -> DistOptions {
+    DistOptions {
+        backend: ExecBackend::Superstep(ExecMode::Sequential),
+        target_residual: Some(TARGET),
+        max_steps: 400,
+        ..DistOptions::default()
+    }
+}
+
+/// The deterministic job stream: tenant `t`'s `job`-th right-hand side.
+/// Job 0 is the priming solve; later jobs drift by a small deterministic
+/// perturbation, so warm re-solves do real (but short) work.
+///
+/// Both the base and the drift are zero-mean and modulated by the grid
+/// checkerboard, keeping the rhs energy in high-frequency modes the
+/// block solvers contract quickly. A smooth (DC-heavy) rhs would push
+/// every solve into the slow smooth-error tail (hundreds of supersteps
+/// at ρ ≈ 1 − O(h²)), and the sweep would measure the solver's
+/// asymptotics instead of the serving layer.
+pub fn tenant_rhs(n: usize, tenant: usize, job: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let parity = if ((i % GRID) + (i / GRID)).is_multiple_of(2) {
+                1.0
+            } else {
+                -1.0
+            };
+            let base = (((tenant * 7 + i) % 11) as f64 - 5.0) * 0.01;
+            let drift = (((tenant * 13 + job * 29 + i) % 17) as f64 - 8.0) * 2e-4 * job as f64;
+            parity * (base + drift)
+        })
+        .collect()
+}
+
+/// Runs the multiplexed side: registers `tenants` sessions on one shared
+/// pool, primes each with its job-0 solve (untimed, like registration),
+/// then submits jobs `1..=JOBS` for every tenant and drains the service.
+/// Returns the timed window's service stats.
+pub fn run_multiplexed(method: Method, tenants: usize) -> ServiceStats {
+    let (a, _b, x0, part) = serve_problem();
+    let n = a.nrows();
+    let opts = serve_opts();
+    let mut svc = SolveService::new(ServeConfig {
+        workers: WORKERS,
+        quantum: QUANTUM,
+        queue_capacity: tenants * (JOBS + 1),
+        seed: 1,
+    });
+    let ids: Vec<TenantId> = (0..tenants)
+        .map(|t| svc.add_tenant(method, a.clone(), &tenant_rhs(n, t, 0), &x0, &part, &opts))
+        .collect();
+    // Priming window: every tenant solves its job-0 system cold, landing
+    // on the solution later jobs drift from. Untimed — the serialized
+    // baseline gets the same free priming pass.
+    for (t, &id) in ids.iter().enumerate() {
+        svc.submit(id, tenant_rhs(n, t, 0)).expect("queue has room");
+    }
+    svc.run_until_idle();
+    for &id in &ids {
+        let _ = svc.take_reports(id);
+    }
+
+    for job in 1..=JOBS {
+        for (t, &id) in ids.iter().enumerate() {
+            svc.submit(id, tenant_rhs(n, t, job))
+                .expect("queue has room");
+        }
+    }
+    let stats = svc.run_until_idle();
+    assert_eq!(stats.solves as usize, tenants * JOBS, "every job completed");
+    stats
+}
+
+/// Runs the serialized baseline on the same job stream: a stateless
+/// server that re-partitions, re-distributes, and rebuilds per request,
+/// with only the previous solution (warm `x0`) carried across solves.
+/// Returns its sustained solves/sec over the timed jobs.
+pub fn run_serialized(method: Method, tenants: usize) -> f64 {
+    let (a, _b, x0, _part) = serve_problem();
+    let n = a.nrows();
+    let opts = serve_opts();
+    // Priming pass (untimed), mirroring the multiplexed side.
+    let mut xs: Vec<Vec<f64>> = (0..tenants)
+        .map(|t| {
+            let part = suite_partition(&a, RANKS, 1);
+            run_method(method, &a, &tenant_rhs(n, t, 0), &x0, &part, &opts).x
+        })
+        .collect();
+
+    let t0 = Instant::now();
+    let mut solves = 0u64;
+    for job in 1..=JOBS {
+        for (t, x) in xs.iter_mut().enumerate() {
+            let part = suite_partition(&a, RANKS, 1);
+            let rep = run_method(method, &a, &tenant_rhs(n, t, job), x, &part, &opts);
+            *x = rep.x;
+            solves += 1;
+        }
+    }
+    solves as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// One row of the serve-throughput sweep.
+pub struct ServeRow {
+    /// The solver every tenant runs.
+    pub method: Method,
+    /// Registered tenants.
+    pub tenants: usize,
+    /// Solves completed in the timed window.
+    pub solves: u64,
+    /// Multiplexed sustained throughput, solves/sec.
+    pub serve_solves_per_sec: f64,
+    /// Serialized-baseline throughput, solves/sec.
+    pub serialized_solves_per_sec: f64,
+    /// `serve / serialized`.
+    pub speedup: f64,
+    /// Median solve latency under multiplexing, ms.
+    pub p50_ms: f64,
+    /// 99th-percentile solve latency, ms.
+    pub p99_ms: f64,
+    /// Shared-pool busy fraction over the window.
+    pub pool_utilization: f64,
+    /// Peak admitted-job count.
+    pub max_queue_depth: usize,
+}
+
+/// Measures one (method, tenant count) point on both sides.
+pub fn run_point(method: Method, tenants: usize) -> ServeRow {
+    let stats = run_multiplexed(method, tenants);
+    let serialized = run_serialized(method, tenants);
+    ServeRow {
+        method,
+        tenants,
+        solves: stats.solves,
+        serve_solves_per_sec: stats.solves_per_sec,
+        serialized_solves_per_sec: serialized,
+        speedup: if serialized > 0.0 {
+            stats.solves_per_sec / serialized
+        } else {
+            f64::INFINITY
+        },
+        p50_ms: stats.p50_ms,
+        p99_ms: stats.p99_ms,
+        pool_utilization: stats.pool_utilization,
+        max_queue_depth: stats.max_queue_depth,
+    }
+}
+
+/// Runs the sweep and writes `results/serve_throughput.csv`.
+pub fn run_serve(ctx: &ExperimentCtx) -> Vec<ServeRow> {
+    let counts: Vec<usize> = [16usize, 64, 128]
+        .iter()
+        .map(|&c| ((c as f64 * ctx.scale).round() as usize).max(2))
+        .collect();
+    let mut rows: Vec<ServeRow> = counts.iter().map(|&c| run_point(GATE_METHOD, c)).collect();
+    // One DS point at the gate's tenant count for paper fidelity — its
+    // input-sensitive convergence tail keeps it out of the gate.
+    rows.push(run_point(Method::DistributedSouthwell, counts[1]));
+
+    println!(
+        "\n=== serve — multiplexed tenants over one shared pool vs serialized rebuilds \
+         ({RANKS} ranks, {GRID}×{GRID} Poisson, {JOBS} warm solves/tenant) ==="
+    );
+    println!(
+        "{:>6} {:>7} {:>7} {:>12} {:>12} {:>8} {:>9} {:>9} {:>6} {:>7}",
+        "method",
+        "tenants",
+        "solves",
+        "serve s/s",
+        "serial s/s",
+        "speedup",
+        "p50 ms",
+        "p99 ms",
+        "util",
+        "depth"
+    );
+    let mut csv = Vec::new();
+    for row in &rows {
+        println!(
+            "{:>6} {:>7} {:>7} {:>12.1} {:>12.1} {:>7.2}x {:>9.3} {:>9.3} {:>6.2} {:>7}",
+            row.method.label(),
+            row.tenants,
+            row.solves,
+            row.serve_solves_per_sec,
+            row.serialized_solves_per_sec,
+            row.speedup,
+            row.p50_ms,
+            row.p99_ms,
+            row.pool_utilization,
+            row.max_queue_depth
+        );
+        csv.push(vec![
+            row.method.label().to_string(),
+            row.tenants.to_string(),
+            row.solves.to_string(),
+            format!("{:.2}", row.serve_solves_per_sec),
+            format!("{:.2}", row.serialized_solves_per_sec),
+            format!("{:.3}", row.speedup),
+            format!("{:.4}", row.p50_ms),
+            format!("{:.4}", row.p99_ms),
+            format!("{:.4}", row.pool_utilization),
+            row.max_queue_depth.to_string(),
+        ]);
+    }
+    write_csv(
+        &ctx.out_dir,
+        "serve_throughput",
+        &[
+            "method",
+            "tenants",
+            "solves",
+            "serve_solves_per_sec",
+            "serialized_solves_per_sec",
+            "speedup",
+            "p50_ms",
+            "p99_ms",
+            "pool_utilization",
+            "max_queue_depth",
+        ],
+        &csv,
+    );
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiplexed_window_completes_with_isolated_accounting() {
+        // Tiny tenant count: this pins the mechanics (every job completes,
+        // stats are sane), not the throughput gate — that is CI's bench
+        // gate on `BENCH_serve.json`, where the tenant count is realistic.
+        let stats = run_multiplexed(GATE_METHOD, 3);
+        assert_eq!(stats.solves as usize, 3 * JOBS);
+        assert!(stats.solves_per_sec > 0.0);
+        assert!(stats.pool_utilization >= 0.0 && stats.pool_utilization <= 1.0);
+        assert!(stats.p50_ms <= stats.p99_ms);
+        assert_eq!(stats.max_queue_depth, 3 * JOBS);
+    }
+}

@@ -70,6 +70,28 @@ impl BlockJacobiRank {
 
 impl super::recovery::Recoverable for BlockJacobiRank {}
 
+impl super::session::WarmStart for BlockJacobiRank {
+    fn local(&self) -> &LocalSystem {
+        &self.ls
+    }
+
+    fn reseed_rhs(&mut self, delta_b: &[f64]) -> f64 {
+        // r = b − Ax: a change in b shifts the residual by the same amount,
+        // purely locally — x is untouched, so Ax is untouched.
+        for (li, &g) in self.ls.rows.iter().enumerate() {
+            self.ls.b[li] += delta_b[g];
+            self.ls.r[li] += delta_b[g];
+        }
+        self.norm_sq = self.ls.residual_norm_sq();
+        self.norm_sq
+    }
+
+    fn reseed_estimates(&mut self, _norms_sq: &[f64]) {
+        // Block Jacobi keeps no cross-rank estimates: every rank relaxes
+        // every step regardless of norms. Nothing to re-seed.
+    }
+}
+
 impl RankAlgorithm for BlockJacobiRank {
     type Msg = DistMsg;
 

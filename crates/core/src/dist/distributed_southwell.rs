@@ -632,6 +632,57 @@ impl Recoverable for DistributedSouthwellRank {
     }
 }
 
+impl super::session::WarmStart for DistributedSouthwellRank {
+    fn local(&self) -> &LocalSystem {
+        &self.ls
+    }
+
+    fn reseed_rhs(&mut self, delta_b: &[f64]) -> f64 {
+        // r = b − Ax shifts purely locally under a b change; the ghost
+        // layer `z` mirrors the neighbors' residuals at the boundary rows,
+        // which shift by the same per-row deltas on the owning ranks.
+        for (li, &g) in self.ls.rows.iter().enumerate() {
+            self.ls.b[li] += delta_b[g];
+            self.ls.r[li] += delta_b[g];
+        }
+        for (slot, &g) in self.ls.ext_cols.iter().enumerate() {
+            self.z[slot] += delta_b[g];
+        }
+        self.my_norm_sq = self.ls.residual_norm_sq();
+        // The cache is exact as of this recompute — leaving it dirty would
+        // be correct too, but the session's warm-start audit requires the
+        // reseed itself to re-establish the clean-cache invariant.
+        self.norm_dirty = false;
+        self.my_norm_sq
+    }
+
+    fn reseed_estimates(&mut self, norms_sq: &[f64]) {
+        // Out-of-band exact exchange, mirroring `build_with`'s setup: Γ
+        // gets each neighbor's exact post-reseed norm, and Γ̃ records that
+        // every neighbor was handed this rank's exact norm.
+        for (s, &q) in self.ls.neighbors.iter().enumerate() {
+            self.gamma_sq[s] = norms_sq[q];
+        }
+        for t in &mut self.tilde_sq {
+            *t = self.my_norm_sq;
+        }
+        // Any flushed-but-undelivered deltas are discarded alongside the
+        // executor's in-flight queues (the session only reseeds at a step
+        // boundary with `solve_msg_threshold == 0`, where the pending
+        // buffer is empty and in-flight messages carry norms only).
+        for p in &mut self.pending_dr {
+            *p = 0.0;
+        }
+        self.in_flight_flush_sq = 0.0;
+        self.undelivered_sq = 0.0;
+        for s in &mut self.sent_prev_phase {
+            *s = false;
+        }
+        self.relaxed_last_step = false;
+        self.force_rebroadcast = false;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

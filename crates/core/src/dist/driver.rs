@@ -199,15 +199,16 @@ pub struct MaintainedNorm {
     pub slack: f64,
 }
 
-/// Out-of-band residual measurement with reusable scratch.
+/// Out-of-band residual measurement with reusable scratch, lifetime-free.
 ///
 /// Owns the gather and SpMV buffers (allocated once per run, not per
-/// step) and the [`MonitorStats`] counters. Both monitor modes go through
-/// this type, as does the final-solution gather, so the `monitor_512`
-/// bench exercises exactly the driver's code path.
-pub struct Monitor<'a> {
-    a: &'a CsrMatrix,
-    b: &'a [f64],
+/// step) and the [`MonitorStats`] counters, but *not* the system: every
+/// measurement takes `(a, b)` as arguments. This lets a persistent
+/// [`SolveSession`](crate::dist::session::SolveSession) — which owns its
+/// matrix and right-hand side — hold monitor scratch across solves
+/// without a self-referential borrow. [`Monitor`] wraps this with
+/// borrowed `(a, b)` for one-shot use.
+pub struct MonitorCore {
     /// Gather scratch: every owned row is overwritten on each gather (the
     /// parts partition `0..n`), so no per-use zeroing is needed.
     x: Vec<f64>,
@@ -217,13 +218,11 @@ pub struct Monitor<'a> {
     pub stats: MonitorStats,
 }
 
-impl<'a> Monitor<'a> {
-    /// Allocates the scratch for one run of `‖b − Ax‖` measurements.
-    pub fn new(a: &'a CsrMatrix, b: &'a [f64]) -> Self {
-        let n = a.nrows();
-        Monitor {
-            a,
-            b,
+impl MonitorCore {
+    /// Allocates the scratch for `‖b − Ax‖` measurements on an
+    /// `n`-dimensional system.
+    pub fn new(n: usize) -> Self {
+        MonitorCore {
             x: vec![0.0; n],
             ax: vec![0.0; n],
             stats: MonitorStats::default(),
@@ -255,14 +254,15 @@ impl<'a> Monitor<'a> {
     /// one norm — `O(n + nnz)`.
     pub fn exact<R: RankAlgorithm>(
         &mut self,
+        a: &CsrMatrix,
+        b: &[f64],
         ranks: &[R],
         local_of: &impl Fn(&R) -> &LocalSystem,
     ) -> f64 {
         let t0 = Instant::now();
         self.gather_into_scratch(ranks, local_of);
-        self.a.spmv(&self.x, &mut self.ax);
-        let norm_sq: f64 = self
-            .b
+        a.spmv(&self.x, &mut self.ax);
+        let norm_sq: f64 = b
             .iter()
             .zip(&self.ax)
             .map(|(&b, &ax)| {
@@ -299,11 +299,11 @@ impl<'a> Monitor<'a> {
         }
     }
 
-    /// View-based [`Monitor::maintained`]: the drive loops read global
+    /// View-based [`MonitorCore::maintained`]: the drive loops read global
     /// state through a [`NormView`], so the uncoded run (one block per
     /// rank) and a redundancy-coded run (one representative per replica
     /// set) share one loop body and one accounting path.
-    fn maintained_view<R: RankAlgorithm>(
+    pub(crate) fn maintained_view<R: RankAlgorithm>(
         &mut self,
         ranks: &[R],
         view: &impl NormView<R>,
@@ -318,13 +318,18 @@ impl<'a> Monitor<'a> {
         })
     }
 
-    /// View-based [`Monitor::exact`].
-    fn exact_view<R: RankAlgorithm>(&mut self, ranks: &[R], view: &impl NormView<R>) -> f64 {
+    /// View-based [`MonitorCore::exact`].
+    pub(crate) fn exact_view<R: RankAlgorithm>(
+        &mut self,
+        a: &CsrMatrix,
+        b: &[f64],
+        ranks: &[R],
+        view: &impl NormView<R>,
+    ) -> f64 {
         let t0 = Instant::now();
         view.scatter_into(ranks, &mut self.x);
-        self.a.spmv(&self.x, &mut self.ax);
-        let norm_sq: f64 = self
-            .b
+        a.spmv(&self.x, &mut self.ax);
+        let norm_sq: f64 = b
             .iter()
             .zip(&self.ax)
             .map(|(&b, &ax)| {
@@ -337,10 +342,63 @@ impl<'a> Monitor<'a> {
         norm_sq.sqrt()
     }
 
-    /// View-based [`Monitor::gather`].
-    fn gather_view<R: RankAlgorithm>(&mut self, ranks: &[R], view: &impl NormView<R>) -> Vec<f64> {
+    /// View-based [`MonitorCore::gather`].
+    pub(crate) fn gather_view<R: RankAlgorithm>(
+        &mut self,
+        ranks: &[R],
+        view: &impl NormView<R>,
+    ) -> Vec<f64> {
         view.scatter_into(ranks, &mut self.x);
         self.x.clone()
+    }
+}
+
+/// [`MonitorCore`] with the system borrowed in: the one-shot driver entry
+/// points and external callers (benches, property tests) measure a fixed
+/// `(a, b)` for the run, so they carry the pair here instead of threading
+/// it through every call.
+pub struct Monitor<'a> {
+    a: &'a CsrMatrix,
+    b: &'a [f64],
+    core: MonitorCore,
+}
+
+impl<'a> Monitor<'a> {
+    /// Allocates the scratch for one run of `‖b − Ax‖` measurements.
+    pub fn new(a: &'a CsrMatrix, b: &'a [f64]) -> Self {
+        Monitor {
+            a,
+            b,
+            core: MonitorCore::new(a.nrows()),
+        }
+    }
+
+    /// See [`MonitorCore::maintained`].
+    pub fn maintained<R: RankAlgorithm>(&mut self, ranks: &[R]) -> Option<MaintainedNorm> {
+        self.core.maintained(ranks)
+    }
+
+    /// See [`MonitorCore::exact`].
+    pub fn exact<R: RankAlgorithm>(
+        &mut self,
+        ranks: &[R],
+        local_of: &impl Fn(&R) -> &LocalSystem,
+    ) -> f64 {
+        self.core.exact(self.a, self.b, ranks, local_of)
+    }
+
+    /// See [`MonitorCore::gather`].
+    pub fn gather<R: RankAlgorithm>(
+        &mut self,
+        ranks: &[R],
+        local_of: &impl Fn(&R) -> &LocalSystem,
+    ) -> Vec<f64> {
+        self.core.gather(ranks, local_of)
+    }
+
+    /// Cost and drift observables accumulated so far.
+    pub fn stats(&self) -> &MonitorStats {
+        &self.core.stats
     }
 }
 
@@ -350,7 +408,7 @@ impl<'a> Monitor<'a> {
 /// The uncoded [`DirectView`] is the identity (rank = block). The coded
 /// [`ReplicaView`] reads each block from its freshest replica and declares
 /// the replica sets as scheduler lag groups.
-trait NormView<R: RankAlgorithm> {
+pub(crate) trait NormView<R: RankAlgorithm> {
     /// Writes every global row's current value into `x` (each logical
     /// block exactly once).
     fn scatter_into(&self, ranks: &[R], x: &mut [f64]);
@@ -369,7 +427,7 @@ trait NormView<R: RankAlgorithm> {
 
 /// The uncoded identity view: one block per rank, read via the solver's
 /// `local_of` projection.
-struct DirectView<F>(F);
+pub(crate) struct DirectView<F>(pub(crate) F);
 
 impl<R, F> NormView<R> for DirectView<F>
 where
@@ -863,7 +921,7 @@ where
 }
 
 /// The step-0 record: the exactly measured initial state, zero counters.
-fn initial_record(initial: f64) -> StepRecord {
+pub(crate) fn initial_record(initial: f64) -> StepRecord {
     StepRecord {
         step: 0,
         residual_norm: initial,
@@ -887,7 +945,7 @@ fn initial_record(initial: f64) -> StepRecord {
 
 /// Appends the cumulative record for one boundary (a parallel step on the
 /// superstep backend, a scheduler tick on the async one).
-fn push_record(
+pub(crate) fn push_record(
     records: &mut Vec<StepRecord>,
     step: usize,
     norm: f64,
@@ -925,8 +983,10 @@ fn push_record(
 /// require that). `boundary` is the cadence counter (step or tick) and
 /// `last` marks the final boundary of the run, which is always exact.
 #[allow(clippy::too_many_arguments)]
-fn measure_boundary<R: RankAlgorithm>(
-    monitor: &mut Monitor,
+pub(crate) fn measure_boundary<R: RankAlgorithm>(
+    monitor: &mut MonitorCore,
+    a: &CsrMatrix,
+    b: &[f64],
     ranks: &[R],
     view: &impl NormView<R>,
     opts: &DistOptions,
@@ -936,7 +996,7 @@ fn measure_boundary<R: RankAlgorithm>(
     last: bool,
 ) -> (f64, bool) {
     match opts.monitor {
-        MonitorMode::Exact => (monitor.exact_view(ranks, view), true),
+        MonitorMode::Exact => (monitor.exact_view(a, b, ranks, view), true),
         MonitorMode::Maintained { verify_every } => match monitor.maintained_view(ranks, view) {
             Some(m) => {
                 let due = verify_every > 0 && boundary.is_multiple_of(verify_every);
@@ -953,7 +1013,7 @@ fn measure_boundary<R: RankAlgorithm>(
                         .divergence_cutoff
                         .is_some_and(|cut| m.norm > cut * initial.max(1e-300));
                 if due || claims_convergence || claims_divergence || idle || last {
-                    let e = monitor.exact_view(ranks, view);
+                    let e = monitor.exact_view(a, b, ranks, view);
                     monitor.stats.record_drift(e, m.norm);
                     (e, true)
                 } else {
@@ -961,7 +1021,7 @@ fn measure_boundary<R: RankAlgorithm>(
                 }
             }
             // The algorithm maintains no norms: fall back to exact.
-            None => (monitor.exact_view(ranks, view), true),
+            None => (monitor.exact_view(a, b, ranks, view), true),
         },
     }
 }
@@ -984,10 +1044,10 @@ where
     let nranks = ranks.len();
     let mut ex = Executor::with_chaos(ranks, opts.cost_model, mode, opts.chaos);
     ex.set_close_mode(opts.close_mode);
-    let mut monitor = Monitor::new(a, b);
+    let mut monitor = MonitorCore::new(n);
 
     // The initial state is measured exactly in both modes (one-time cost).
-    let initial = monitor.exact_view(ex.ranks(), view);
+    let initial = monitor.exact_view(a, b, ex.ranks(), view);
     let mut records = vec![initial_record(initial)];
     let mut converged_at = None;
     let mut deadlocked = false;
@@ -1006,6 +1066,8 @@ where
 
         let (norm, verified) = measure_boundary(
             &mut monitor,
+            a,
+            b,
             ex.ranks(),
             view,
             opts,
@@ -1128,9 +1190,9 @@ where
     if let Some(groups) = view.lag_groups() {
         ex.set_lag_groups(groups);
     }
-    let mut monitor = Monitor::new(a, b);
+    let mut monitor = MonitorCore::new(n);
 
-    let initial = monitor.exact_view(ex.ranks(), view);
+    let initial = monitor.exact_view(a, b, ex.ranks(), view);
     let mut records = vec![initial_record(initial)];
     let mut converged_at = None;
     let mut deadlocked = false;
@@ -1178,6 +1240,8 @@ where
 
         let (norm, verified) = measure_boundary(
             &mut monitor,
+            a,
+            b,
             ex.ranks(),
             view,
             opts,

@@ -12,7 +12,10 @@
 //!   records every table and figure of the evaluation is built from,
 //! * [`seq`] / [`recovery`] — the fault-tolerant delivery and protocol
 //!   self-healing layer this reproduction adds for unreliable transports
-//!   (sequence numbers, periodic invariant audits, freeze watchdog).
+//!   (sequence numbers, periodic invariant audits, freeze watchdog),
+//! * [`session`] — persistent solve sessions: warm-started repeated
+//!   solves with evolving right-hand sides, the building block of the
+//!   `dsw-serve` multi-tenant serving layer.
 
 pub mod block_jacobi;
 pub mod distributed_southwell;
@@ -23,12 +26,13 @@ pub mod msg;
 pub mod parallel_southwell;
 pub mod recovery;
 pub mod seq;
+pub mod session;
 
 pub use block_jacobi::BlockJacobiRank;
 pub use distributed_southwell::{DistributedSouthwellRank, DsConfig};
 pub use driver::{
     drive, run_method, DistOptions, DistReport, ExecBackend, MaintainedNorm, Method, Monitor,
-    MonitorMode, StepRecord,
+    MonitorCore, MonitorMode, StepRecord,
 };
 pub use layout::{distribute, gather_r, gather_x, LocalSystem};
 pub use local_solver::{LocalSolver, LocalSolverImpl};
@@ -36,6 +40,7 @@ pub use msg::{DistMsg, SeqMsg};
 pub use parallel_southwell::ParallelSouthwellRank;
 pub use recovery::{Recoverable, RecoveryConfig};
 pub use seq::{SeqIn, SeqVerdict};
+pub use session::{SolveSession, TenantSession, WarmStart};
 
 /// Re-exported so callers can request a coded placement
 /// ([`DistOptions::redundancy`](driver::DistOptions)) without depending on

@@ -124,6 +124,34 @@ impl ParallelSouthwellRank {
 
 impl super::recovery::Recoverable for ParallelSouthwellRank {}
 
+impl super::session::WarmStart for ParallelSouthwellRank {
+    fn local(&self) -> &LocalSystem {
+        &self.ls
+    }
+
+    fn reseed_rhs(&mut self, delta_b: &[f64]) -> f64 {
+        // r = b − Ax: the b change shifts r purely locally (x untouched).
+        for (li, &g) in self.ls.rows.iter().enumerate() {
+            self.ls.b[li] += delta_b[g];
+            self.ls.r[li] += delta_b[g];
+        }
+        self.my_norm_sq = self.ls.residual_norm_sq();
+        self.my_norm_sq
+    }
+
+    fn reseed_estimates(&mut self, norms_sq: &[f64]) {
+        // Out-of-band exact exchange, mirroring `build_cfg`'s setup: every
+        // neighbor estimate becomes the neighbor's exact post-reseed norm,
+        // and `last_sent` reflects that the neighbors hold *this* rank's
+        // exact norm too.
+        for (s, &q) in self.ls.neighbors.iter().enumerate() {
+            self.gamma_sq[s] = norms_sq[q];
+        }
+        self.last_sent_norm_sq = self.my_norm_sq;
+        self.relaxed_last_step = false;
+    }
+}
+
 impl RankAlgorithm for ParallelSouthwellRank {
     type Msg = DistMsg;
 

@@ -1,0 +1,531 @@
+//! Persistent solve sessions: distributed state that survives across
+//! solves.
+//!
+//! The paper measures one solve; the ROADMAP's north star is heavy
+//! traffic — many repeated solves of the same system with an evolving
+//! right-hand side (Hong's D-iteration framing: the diffusion *continues
+//! from current state* when `b` changes). A [`SolveSession`] keeps
+//! everything that is expensive to set up — the partition-routed
+//! [`LocalSystem`]s, the per-rank algorithm state, the executor's routing
+//! index, the monitor scratch — alive across solves, so a repeated solve
+//! warm-starts from the previous solution and only re-seeds residuals.
+//! No re-partition, no re-route, zero steady-state allocation.
+//!
+//! # Warm-start semantics
+//!
+//! Re-solving with an **unchanged** `b` touches nothing: the session
+//! simply continues stepping the existing rank states, so the resulting
+//! iterates are bit-identical to having let the original run continue
+//! (the `warm_start` proptests pin this).
+//!
+//! Re-solving with a **changed** `b` exploits `r = b − Ax`: a change in
+//! `b` shifts the residual by exactly `Δb`, purely locally — `x` and
+//! `Ax` are untouched. Each rank applies its owned slice of `Δb` to `b`
+//! and `r` ([`WarmStart::reseed_rhs`]), recomputes its exact norm, and
+//! mirrors the boundary-row deltas into the DS ghost layer `z`. Then the
+//! cross-rank estimate state (PS/DS `Γ`, DS `Γ̃`) is re-seeded from the
+//! exact post-reseed norms ([`WarmStart::reseed_estimates`]) — the same
+//! out-of-band exchange the cold build performs — and the executor's
+//! in-flight queues are discarded. Discarding is safe *only* at a step
+//! boundary with `solve_msg_threshold == 0`, no chaos, and recovery off:
+//! there, every residual delta sent in phase 0 was applied in phase 1 of
+//! the same step, so in-flight messages carry norm estimates only — and
+//! those are superseded by the exact exchange. [`TenantSession::build`]
+//! asserts exactly these preconditions.
+//!
+//! # Quantum stepping
+//!
+//! [`SolveSession::step_batch`] advances a bounded number of supersteps
+//! and returns whether the solve reached a verdict, so a serving layer
+//! can interleave many sessions on one shared [`SharedPool`] with
+//! per-tenant quanta (see the `dsw-serve` crate). The loop body is the
+//! driver's superstep loop — same measurement cadence, same verdict
+//! rules — so a session solve and a [`run_method`](super::run_method)
+//! solve of the same problem produce identical records.
+
+use super::block_jacobi::BlockJacobiRank;
+use super::distributed_southwell::DistributedSouthwellRank;
+use super::driver::{
+    initial_record, measure_boundary, push_record, DirectView, DistOptions, DistReport,
+    ExecBackend, Method, MonitorCore, StepRecord,
+};
+use super::layout::{distribute, LocalSystem};
+use super::parallel_southwell::ParallelSouthwellRank;
+use super::recovery::Recoverable;
+use dsw_partition::Partition;
+use dsw_rma::{Executor, RankAlgorithm, SharedPool};
+use dsw_sparse::CsrMatrix;
+
+/// A rank algorithm whose state can be warm-started in place when the
+/// right-hand side changes between solves.
+///
+/// Implementations live next to each solver (private-field access); the
+/// contract is shared: [`reseed_rhs`](WarmStart::reseed_rhs) applies the
+/// owned slice of `Δb` to `b` and `r` and returns the recomputed exact
+/// `‖r_p‖²`, and [`reseed_estimates`](WarmStart::reseed_estimates)
+/// re-seeds all cross-rank estimate state from the exact per-rank norms,
+/// exactly as the cold build's setup exchange does.
+pub trait WarmStart: RankAlgorithm + Recoverable {
+    /// The rank's local piece of the system (the driver's gather view).
+    fn local(&self) -> &LocalSystem;
+
+    /// Applies the global `Δb` to the owned rows' `b` and `r` (and any
+    /// mirrored ghost residuals) and returns the exact recomputed
+    /// `‖r_p‖²`.
+    fn reseed_rhs(&mut self, delta_b: &[f64]) -> f64;
+
+    /// Re-seeds cross-rank estimate state (`Γ`, `Γ̃`, last-sent norms)
+    /// from the exact per-rank `‖r_q‖²` vector, indexed by rank.
+    fn reseed_estimates(&mut self, norms_sq: &[f64]);
+}
+
+/// Per-solve progress — everything [`run_method`](super::run_method)
+/// keeps in loop locals, extracted so a solve can be suspended between
+/// quanta.
+struct SolveState {
+    records: Vec<StepRecord>,
+    initial: f64,
+    step: usize,
+    converged_at: Option<usize>,
+    deadlocked: bool,
+    diverged: bool,
+    watchdog_nudges: u64,
+    nudges_since_relax: u32,
+    done: bool,
+    /// Rank-cumulative recovery counters at solve start, so the report
+    /// carries per-solve deltas.
+    drift_base: u64,
+    stale_base: u64,
+}
+
+/// A persistent solver instance: distributed state that survives across
+/// solves with evolving right-hand sides.
+///
+/// Constructed through [`TenantSession::build`] (which picks the rank
+/// type for the method and enforces the warm-start preconditions), or
+/// directly from pre-built ranks for tests.
+pub struct SolveSession<R: WarmStart> {
+    method: Method,
+    a: CsrMatrix,
+    b: Vec<f64>,
+    ex: Executor<R>,
+    monitor: MonitorCore,
+    opts: DistOptions,
+    state: SolveState,
+    /// `Δb` scratch (global indexing), reused across reseeds.
+    delta_b: Vec<f64>,
+    /// Exact per-rank `‖r_p‖²` scratch, reused across reseeds.
+    norms_sq: Vec<f64>,
+}
+
+impl<R: WarmStart> SolveSession<R> {
+    fn view() -> DirectView<fn(&R) -> &LocalSystem> {
+        DirectView(R::local as fn(&R) -> &LocalSystem)
+    }
+
+    /// Wraps a built executor into a session ready to solve `b`.
+    pub fn new(
+        method: Method,
+        a: CsrMatrix,
+        b: Vec<f64>,
+        mut ex: Executor<R>,
+        opts: DistOptions,
+    ) -> Self {
+        let n = a.nrows();
+        let nranks = ex.nranks();
+        let mut monitor = MonitorCore::new(n);
+        let initial = monitor.exact_view(&a, &b, ex.ranks(), &Self::view());
+        let state = SolveState {
+            records: vec![initial_record(initial)],
+            initial,
+            step: 0,
+            converged_at: None,
+            deadlocked: false,
+            diverged: false,
+            watchdog_nudges: 0,
+            nudges_since_relax: 0,
+            done: false,
+            drift_base: ex.ranks().iter().map(|r| r.drift_repairs()).sum(),
+            stale_base: ex.ranks().iter().map(|r| r.stale_discards()).sum(),
+        };
+        // Harvest setup-time accounting so the first solve's stats start
+        // from a clean epoch (the distribute/build work is not a step).
+        let _ = ex.stats.take_epoch();
+        SolveSession {
+            method,
+            a,
+            b,
+            ex,
+            monitor,
+            opts,
+            state,
+            delta_b: vec![0.0; n],
+            norms_sq: vec![0.0; nranks],
+        }
+    }
+
+    /// Number of ranks (blocks) in the session's partition.
+    pub fn nranks(&self) -> usize {
+        self.ex.nranks()
+    }
+
+    /// Read access to the per-rank state (tests audit warm-start
+    /// invariants through this).
+    pub fn ranks(&self) -> &[R] {
+        self.ex.ranks()
+    }
+
+    /// Mutable access to the per-rank state (test harnesses only;
+    /// out-of-band mutation of a rank's residual requires the rank's own
+    /// cache invalidation hooks).
+    pub fn ranks_mut(&mut self) -> &mut [R] {
+        self.ex.ranks_mut()
+    }
+
+    /// The method this session runs.
+    pub fn method(&self) -> Method {
+        self.method
+    }
+
+    /// Whether the current solve has reached a verdict.
+    pub fn is_done(&self) -> bool {
+        self.state.done
+    }
+
+    /// Begins a solve of `A x = b_new`, warm-starting from the current
+    /// `x`.
+    ///
+    /// If `b_new` is bitwise identical to the session's current `b`, the
+    /// rank states are left completely untouched — the solve is a pure
+    /// continuation of the previous one. Otherwise the residuals are
+    /// re-seeded by the `Δb` shift, the cross-rank estimates by an exact
+    /// out-of-band norm exchange, and stale in-flight norm messages are
+    /// discarded.
+    pub fn begin_solve(&mut self, b_new: &[f64]) {
+        assert_eq!(b_new.len(), self.a.nrows(), "rhs dimension mismatch");
+        let changed = self.b != b_new;
+        if changed {
+            for ((d, &new), old) in self.delta_b.iter_mut().zip(b_new).zip(&mut self.b) {
+                *d = new - *old;
+                *old = new;
+            }
+            for (p, r) in self.ex.ranks_mut().iter_mut().enumerate() {
+                self.norms_sq[p] = r.reseed_rhs(&self.delta_b);
+            }
+            for r in self.ex.ranks_mut() {
+                r.reseed_estimates(&self.norms_sq);
+            }
+            // Only norm-estimate messages can be in flight at a step
+            // boundary under the session preconditions; the exact
+            // exchange above supersedes them.
+            self.ex.discard_in_flight();
+        }
+        let initial = self
+            .monitor
+            .exact_view(&self.a, &self.b, self.ex.ranks(), &Self::view());
+        self.state = SolveState {
+            records: vec![initial_record(initial)],
+            initial,
+            step: 0,
+            converged_at: None,
+            deadlocked: false,
+            diverged: false,
+            watchdog_nudges: 0,
+            nudges_since_relax: 0,
+            // Even a below-target initial state steps at least once —
+            // exactly like the driver's loop, which only checks verdicts
+            // at step boundaries. Keeps session records comparable to
+            // `run_method` records step for step.
+            done: false,
+            drift_base: self.ex.ranks().iter().map(|r| r.drift_repairs()).sum(),
+            stale_base: self.ex.ranks().iter().map(|r| r.stale_discards()).sum(),
+        };
+    }
+
+    /// Advances up to `quantum` supersteps of the current solve; returns
+    /// `true` once the solve has reached a verdict (converged, deadlocked,
+    /// diverged, or out of steps). The loop body mirrors the driver's
+    /// superstep loop exactly.
+    pub fn step_batch(&mut self, quantum: usize) -> bool {
+        let view = Self::view();
+        let nranks = self.ex.nranks();
+        let mut left = quantum;
+        while !self.state.done && left > 0 && self.state.step < self.opts.max_steps {
+            left -= 1;
+            self.state.step += 1;
+            let step = self.state.step;
+            let s = self.ex.step();
+            let idle = s.relaxations == 0 && s.msgs == 0 && s.faults.stalled_ranks == 0;
+
+            let (norm, verified) = measure_boundary(
+                &mut self.monitor,
+                &self.a,
+                &self.b,
+                self.ex.ranks(),
+                &view,
+                &self.opts,
+                self.state.initial,
+                step,
+                idle,
+                step == self.opts.max_steps,
+            );
+            push_record(&mut self.state.records, step, norm, &s, nranks);
+            if s.relaxations > 0 {
+                self.state.nudges_since_relax = 0;
+            }
+            if verified && self.state.converged_at.is_none() {
+                if let Some(t) = self.opts.target_residual {
+                    if norm <= t {
+                        self.state.converged_at = Some(step);
+                        self.state.done = true;
+                        break;
+                    }
+                }
+            }
+            if idle {
+                let frozen = norm > self.opts.target_residual.unwrap_or(0.0).max(1e-300);
+                if frozen && self.state.nudges_since_relax < 2 {
+                    let mut any = false;
+                    for r in self.ex.ranks_mut() {
+                        any |= r.nudge();
+                    }
+                    if any {
+                        self.state.watchdog_nudges += 1;
+                        self.state.nudges_since_relax += 1;
+                        continue;
+                    }
+                }
+                self.state.deadlocked = frozen;
+                self.state.done = true;
+                break;
+            }
+            if verified {
+                if !norm.is_finite() {
+                    self.state.diverged = true;
+                    self.state.done = true;
+                    break;
+                }
+                if let Some(cut) = self.opts.divergence_cutoff {
+                    if norm > cut * self.state.initial.max(1e-300) {
+                        self.state.diverged = true;
+                        self.state.done = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if self.state.step >= self.opts.max_steps {
+            self.state.done = true;
+        }
+        self.state.done
+    }
+
+    /// Closes the current solve and returns its report. Stats cover this
+    /// solve only: the executor's accumulators are harvested as an epoch
+    /// ([`dsw_rma::RunStats::take_epoch`]), so back-to-back solves on one
+    /// session never bleed into each other.
+    pub fn finish(&mut self) -> DistReport {
+        let x = self.monitor.gather_view(self.ex.ranks(), &Self::view());
+        let mut stats = self.ex.stats.take_epoch();
+        stats.monitor = std::mem::take(&mut self.monitor.stats);
+        let drift: u64 = self.ex.ranks().iter().map(|r| r.drift_repairs()).sum();
+        let stale: u64 = self.ex.ranks().iter().map(|r| r.stale_discards()).sum();
+        DistReport {
+            method: self.method,
+            n: self.a.nrows(),
+            nranks: self.ex.nranks(),
+            records: std::mem::take(&mut self.state.records),
+            stats,
+            converged_at: self.state.converged_at,
+            deadlocked: self.state.deadlocked,
+            diverged: self.state.diverged,
+            watchdog_nudges: self.state.watchdog_nudges,
+            drift_repairs: drift - self.state.drift_base,
+            stale_discards: stale - self.state.stale_base,
+            x,
+        }
+    }
+
+    /// One full solve: begin, run to a verdict, report.
+    pub fn solve(&mut self, b: &[f64]) -> DistReport {
+        self.begin_solve(b);
+        while !self.step_batch(self.opts.max_steps) {}
+        self.finish()
+    }
+
+    /// Batched right-hand sides: one fused sweep over `k` solves of the
+    /// same matrix, amortizing the session's topology across all of them.
+    /// Each solve warm-starts from its predecessor's solution.
+    pub fn solve_many(&mut self, bs: &[Vec<f64>]) -> Vec<DistReport> {
+        bs.iter().map(|b| self.solve(b)).collect()
+    }
+}
+
+/// A method-erased [`SolveSession`] — what a serving layer holds per
+/// tenant.
+pub enum TenantSession {
+    /// Algorithm 1.
+    Bj(SolveSession<BlockJacobiRank>),
+    /// Algorithm 2 (with or without explicit updates).
+    Ps(SolveSession<ParallelSouthwellRank>),
+    /// Algorithm 3.
+    Ds(SolveSession<DistributedSouthwellRank>),
+}
+
+impl TenantSession {
+    /// Distributes the system, builds the per-rank state for `method`,
+    /// and wraps it in a session — the cold-start path, paid once per
+    /// tenant. With `pool`, the executor runs its phases on the shared
+    /// worker pool instead of spawning its own.
+    ///
+    /// Panics unless the options satisfy the warm-start preconditions:
+    /// superstep backend, no chaos, no redundancy, no message coalescing
+    /// (`solve_msg_threshold == 0`), recovery off.
+    pub fn build(
+        method: Method,
+        a: CsrMatrix,
+        b: &[f64],
+        x0: &[f64],
+        partition: &Partition,
+        opts: &DistOptions,
+        pool: Option<&SharedPool>,
+    ) -> TenantSession {
+        let mode = match opts.backend {
+            ExecBackend::Superstep(mode) => mode,
+            ExecBackend::Async(_) => {
+                panic!("TenantSession requires the superstep backend (warm-start precondition)")
+            }
+        };
+        assert!(
+            !opts.chaos.is_active(),
+            "TenantSession requires a reliable transport (warm-start precondition)"
+        );
+        assert!(
+            opts.redundancy.is_none(),
+            "TenantSession does not support coded redundancy"
+        );
+        assert_eq!(
+            opts.ds_config.solve_msg_threshold, 0.0,
+            "TenantSession requires unbuffered solve messages (warm-start precondition)"
+        );
+        assert!(
+            !opts.ds_config.recovery.is_active(),
+            "TenantSession requires the recovery layer off (discarding in-flight \
+             messages would violate sequencing)"
+        );
+
+        let locals = distribute(&a, b, x0, partition).expect("valid distribution");
+        let norms: Vec<f64> = locals.iter().map(|l| l.residual_norm_sq()).collect();
+        macro_rules! session {
+            ($ranks:expr) => {{
+                let ranks = $ranks;
+                let mut ex = match pool {
+                    Some(pool) => {
+                        Executor::with_shared_pool(ranks, opts.cost_model, opts.chaos, pool)
+                    }
+                    None => Executor::with_chaos(ranks, opts.cost_model, mode, opts.chaos),
+                };
+                ex.set_close_mode(opts.close_mode);
+                SolveSession::new(method, a, b.to_vec(), ex, *opts)
+            }};
+        }
+        match method {
+            Method::BlockJacobi => TenantSession::Bj(session!(BlockJacobiRank::build_with_solver(
+                locals,
+                opts.ds_config.local_solver
+            ))),
+            Method::ParallelSouthwell => TenantSession::Ps(session!(
+                ParallelSouthwellRank::build_cfg(locals, &norms, true, opts.ds_config.local_solver)
+            )),
+            Method::ParallelSouthwellPiggybackOnly => {
+                TenantSession::Ps(session!(ParallelSouthwellRank::build_cfg(
+                    locals,
+                    &norms,
+                    false,
+                    opts.ds_config.local_solver
+                )))
+            }
+            Method::DistributedSouthwell => {
+                let r0 = a.residual(b, x0);
+                TenantSession::Ds(session!(DistributedSouthwellRank::build_with(
+                    locals,
+                    &norms,
+                    &r0,
+                    opts.ds_config
+                )))
+            }
+        }
+    }
+
+    /// See [`SolveSession::begin_solve`].
+    pub fn begin_solve(&mut self, b: &[f64]) {
+        match self {
+            TenantSession::Bj(s) => s.begin_solve(b),
+            TenantSession::Ps(s) => s.begin_solve(b),
+            TenantSession::Ds(s) => s.begin_solve(b),
+        }
+    }
+
+    /// See [`SolveSession::step_batch`].
+    pub fn step_batch(&mut self, quantum: usize) -> bool {
+        match self {
+            TenantSession::Bj(s) => s.step_batch(quantum),
+            TenantSession::Ps(s) => s.step_batch(quantum),
+            TenantSession::Ds(s) => s.step_batch(quantum),
+        }
+    }
+
+    /// See [`SolveSession::is_done`].
+    pub fn is_done(&self) -> bool {
+        match self {
+            TenantSession::Bj(s) => s.is_done(),
+            TenantSession::Ps(s) => s.is_done(),
+            TenantSession::Ds(s) => s.is_done(),
+        }
+    }
+
+    /// See [`SolveSession::finish`].
+    pub fn finish(&mut self) -> DistReport {
+        match self {
+            TenantSession::Bj(s) => s.finish(),
+            TenantSession::Ps(s) => s.finish(),
+            TenantSession::Ds(s) => s.finish(),
+        }
+    }
+
+    /// See [`SolveSession::solve`].
+    pub fn solve(&mut self, b: &[f64]) -> DistReport {
+        match self {
+            TenantSession::Bj(s) => s.solve(b),
+            TenantSession::Ps(s) => s.solve(b),
+            TenantSession::Ds(s) => s.solve(b),
+        }
+    }
+
+    /// See [`SolveSession::solve_many`].
+    pub fn solve_many(&mut self, bs: &[Vec<f64>]) -> Vec<DistReport> {
+        match self {
+            TenantSession::Bj(s) => s.solve_many(bs),
+            TenantSession::Ps(s) => s.solve_many(bs),
+            TenantSession::Ds(s) => s.solve_many(bs),
+        }
+    }
+
+    /// See [`SolveSession::nranks`].
+    pub fn nranks(&self) -> usize {
+        match self {
+            TenantSession::Bj(s) => s.nranks(),
+            TenantSession::Ps(s) => s.nranks(),
+            TenantSession::Ds(s) => s.nranks(),
+        }
+    }
+
+    /// See [`SolveSession::method`].
+    pub fn method(&self) -> Method {
+        match self {
+            TenantSession::Bj(s) => s.method(),
+            TenantSession::Ps(s) => s.method(),
+            TenantSession::Ds(s) => s.method(),
+        }
+    }
+}

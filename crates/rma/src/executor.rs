@@ -31,9 +31,10 @@
 //! chunk partials combine with exact integer arithmetic.
 
 use crate::fault::{ChaosConfig, Fate, FaultInjector};
-use crate::pool::WorkerPool;
+use crate::pool::{SharedPool, WorkerPool};
 use crate::stats::{CommClass, CostModel, FaultStats, RunStats, StepStats};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// A message as it sits in a target rank's memory window.
@@ -506,8 +507,9 @@ pub struct Executor<A: RankAlgorithm> {
     partials: Vec<ClosePartial>,
     /// Per-rank compute-ns scratch for the current step (reset each step).
     step_rank_ns: Vec<u64>,
-    /// Persistent worker pool ([`ExecMode::Threaded`] only).
-    pool: Option<WorkerPool>,
+    /// Persistent worker pool ([`ExecMode::Threaded`], owned exclusively)
+    /// or a service-shared pool ([`Executor::with_shared_pool`]).
+    pool: Option<Arc<WorkerPool>>,
     /// Work-stealing batch size override (`None` = auto; see
     /// [`Executor::set_grain`]).
     grain: Option<usize>,
@@ -583,7 +585,7 @@ impl<A: RankAlgorithm> Executor<A> {
         // Workers are created once, here, and live for the executor's
         // lifetime; `step` only parks/unparks them.
         let pool = match mode {
-            ExecMode::Threaded(t) => Some(WorkerPool::new(t.min(n))),
+            ExecMode::Threaded(t) => Some(Arc::new(WorkerPool::new(t.min(n)))),
             _ => None,
         };
         let nworkers = match mode {
@@ -624,6 +626,36 @@ impl<A: RankAlgorithm> Executor<A> {
             steps_executed: 0,
             stats,
         }
+    }
+
+    /// As [`with_chaos`](Self::with_chaos), but dispatching phases onto a
+    /// [`SharedPool`] instead of spawning a private one — the serving
+    /// layer's constructor, letting many executors (one per tenant)
+    /// multiplex over one set of worker threads.
+    ///
+    /// Results are bit-identical to every other mode (ranks interact only
+    /// at epoch boundaries). Dispatches from different executors must not
+    /// overlap in time — the pool runs one dispatch at a time, and a
+    /// service scheduler interleaves whole supersteps — but interleaving
+    /// *steps* of different executors on one pool is fully supported:
+    /// per-step worker-busy accounting brackets each step with its own
+    /// baseline, so no tenant's busy time bleeds into another's stats.
+    pub fn with_shared_pool(
+        ranks: Vec<A>,
+        model: CostModel,
+        chaos: ChaosConfig,
+        pool: &SharedPool,
+    ) -> Self {
+        let nworkers = pool.nworkers();
+        let mut ex = Self::with_chaos(ranks, model, ExecMode::Sequential, chaos);
+        ex.mode = ExecMode::Threaded(nworkers);
+        ex.pool = Some(Arc::clone(pool.inner()));
+        ex.stats.worker_busy_ns = vec![0; nworkers];
+        // Baseline at the pool's *current* cumulative counters: a shared
+        // pool has usually been busy before this executor existed, and
+        // that history must not be charged to this executor's first step.
+        ex.worker_busy_seen = (0..nworkers).map(|w| pool.inner().busy_ns(w)).collect();
+        ex
     }
 
     /// Overrides the work-stealing batch size (ranks claimed per cursor
@@ -695,6 +727,30 @@ impl<A: RankAlgorithm> Executor<A> {
         &mut self.ranks
     }
 
+    /// Drops every undelivered envelope: pending inboxes and chaos-delayed
+    /// queues. The warm-start reseed of the serving layer uses this as an
+    /// out-of-band epoch boundary — when a tenant's right-hand side
+    /// changes between solves, estimate messages still in flight describe
+    /// the old system and are superseded by the reseed's exact exchange,
+    /// exactly as the initial setup exchange supersedes nothing.
+    ///
+    /// Callers must ensure no in-flight message carries state that cannot
+    /// be reconstructed (the solvers guarantee this at step boundaries on
+    /// a reliable link with coalescing off: all residual *deltas* are
+    /// applied before the boundary; only norm estimates remain in flight).
+    pub fn discard_in_flight(&mut self) {
+        for inbox in &mut self.inboxes {
+            inbox.clear();
+        }
+        for q in &mut self.delayed_q {
+            q.clear();
+        }
+        self.delayed_pending = 0;
+        for u in &mut self.unsorted {
+            *u = false;
+        }
+    }
+
     /// Executes one parallel step (all phases); returns its stats.
     ///
     /// With fault injection active, the epoch close additionally: drops,
@@ -710,6 +766,15 @@ impl<A: RankAlgorithm> Executor<A> {
             "all ranks must agree on the phase count"
         );
         let mut step = StepStats::default();
+        // Re-baseline the per-worker busy counters at the step *start*: on
+        // a shared pool other executors may have dispatched since this
+        // executor's previous step, and their busy time must not be
+        // attributed to this step's delta below.
+        if let Some(pool) = &self.pool {
+            for (w, seen) in self.worker_busy_seen.iter_mut().enumerate() {
+                *seen = pool.busy_ns(w);
+            }
+        }
         // Stall decisions hold for every phase of this step.
         let stalled = self.injector.step_stalls();
         step.faults.stalled_ranks += stalled.iter().filter(|&&s| s).count() as u64;
@@ -1519,6 +1584,89 @@ mod tests {
             );
             assert!(ex.stats.worker_utilization() > 0.0, "{mode:?}");
         }
+    }
+
+    /// Regression for pool-lifetime smear: two executors sharing one
+    /// `SharedPool` back-to-back must each see only their own busy time.
+    /// Before per-solve baselining, the second run's `worker_busy_ns`
+    /// (and hence `worker_utilization`) absorbed the first run's work.
+    #[test]
+    fn shared_pool_busy_time_is_per_run() {
+        use crate::pool::SharedPool;
+        let pool = SharedPool::new(2);
+
+        let mut first = Executor::with_shared_pool(
+            ring(64),
+            CostModel::default(),
+            ChaosConfig::default(),
+            &pool,
+        );
+        for _ in 0..20 {
+            first.step();
+        }
+        let first_busy: u64 = first.stats.worker_busy_ns.iter().sum();
+        assert!(first_busy > 0, "first run accumulated busy time");
+
+        let mut second = Executor::with_shared_pool(
+            ring(64),
+            CostModel::default(),
+            ChaosConfig::default(),
+            &pool,
+        );
+        let second_initial: u64 = second.stats.worker_busy_ns.iter().sum();
+        assert_eq!(second_initial, 0, "fresh executor starts at zero busy");
+        second.step();
+        let second_busy: u64 = second.stats.worker_busy_ns.iter().sum();
+        assert!(second_busy > 0);
+        // One step on the same workload cannot plausibly cost as much as
+        // the first executor's 20 steps — unless lifetime busy smeared in.
+        assert!(
+            second_busy < first_busy,
+            "second run's busy ({second_busy}ns) must exclude the first \
+             run's 20 steps ({first_busy}ns)"
+        );
+        assert!(second.stats.worker_utilization() <= 1.0);
+
+        // Interleaved epochs: re-baselining at step start keeps each
+        // executor's accounting isolated even when their steps alternate
+        // on the shared pool. After a second.step() ran in between,
+        // first.step() must still charge first only for its own work —
+        // i.e. a single step's worth, not first's step plus second's.
+        let before: u64 = first.stats.worker_busy_ns.iter().sum();
+        second.step();
+        first.step();
+        let grew = first.stats.worker_busy_ns.iter().sum::<u64>() - before;
+        assert!(grew > 0, "first's own interleaved step is charged");
+        assert!(
+            grew < first_busy,
+            "one interleaved step ({grew}ns) charges less than 20 steps \
+             ({first_busy}ns): second's work did not smear into first"
+        );
+    }
+
+    /// `RunStats::take_epoch` drains per-solve accumulators and resets
+    /// them in place, so consecutive harvests partition the run.
+    #[test]
+    fn run_stats_take_epoch_partitions_accumulators() {
+        let mut ex = Executor::new(ring(8), CostModel::default(), ExecMode::Sequential);
+        ex.step();
+        ex.step();
+        let lifetime_msgs: u64 = ex.stats.msgs_per_rank.iter().sum();
+        let lifetime_rank_ns: u64 = ex.stats.rank_time_ns.iter().sum();
+
+        let epoch1 = ex.stats.take_epoch();
+        assert_eq!(epoch1.nsteps(), 2);
+        assert_eq!(epoch1.msgs_per_rank.iter().sum::<u64>(), lifetime_msgs);
+        assert_eq!(epoch1.rank_time_ns.iter().sum::<u64>(), lifetime_rank_ns);
+        assert_eq!(ex.stats.nsteps(), 0);
+        assert_eq!(ex.stats.msgs_per_rank.iter().sum::<u64>(), 0);
+        assert_eq!(ex.stats.rank_time_ns.iter().sum::<u64>(), 0);
+        assert_eq!(ex.stats.msgs_per_rank.len(), 8, "shape preserved");
+
+        ex.step();
+        let epoch2 = ex.stats.take_epoch();
+        assert_eq!(epoch2.nsteps(), 1);
+        assert!(epoch2.msgs_per_rank.iter().sum::<u64>() > 0);
     }
 
     #[test]

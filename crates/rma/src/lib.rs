@@ -44,6 +44,7 @@ pub mod trace;
 pub use async_exec::{AsyncExecutor, AsyncOptions, RunStepsResult};
 pub use executor::{CloseMode, Envelope, ExecMode, Executor, PhaseCtx, RankAlgorithm};
 pub use fault::{ChaosConfig, Fate, FaultInjector};
+pub use pool::{PoolStats, SharedPool};
 pub use redundancy::{CodedMsg, RedundantHost};
 pub use stats::{ClassCounts, CommClass, CostModel, FaultStats, MonitorStats, RunStats, StepStats};
 pub use trace::{Trace, TraceEvent};

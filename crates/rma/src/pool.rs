@@ -154,6 +154,103 @@ impl WorkerPool {
     }
 }
 
+/// A worker pool shared by many executors — the serving-layer substrate.
+///
+/// The original design creates one [`WorkerPool`] per
+/// [`Executor`](crate::Executor) ([`ExecMode::Threaded`](crate::ExecMode)),
+/// which is right for a single long solve but wrong for a service
+/// multiplexing hundreds of tenants: P tenants would spawn P pools of N
+/// threads each, oversubscribing the host N-fold. A `SharedPool` is one
+/// pool handed to every executor via
+/// [`Executor::with_shared_pool`](crate::Executor::with_shared_pool); the
+/// executors take turns dispatching onto it (one dispatch at a time — the
+/// service scheduler interleaves whole supersteps, never phases), and the
+/// pool's workers stay parked between dispatches exactly as in the
+/// single-executor case.
+///
+/// Cloning is shallow (an [`Arc`] bump): clones dispatch onto the same
+/// workers. The threads join when the last clone drops.
+#[derive(Clone)]
+pub struct SharedPool {
+    pool: Arc<WorkerPool>,
+}
+
+impl SharedPool {
+    /// Spawns a pool of `nworkers` parked workers (`nworkers >= 1`).
+    pub fn new(nworkers: usize) -> Self {
+        SharedPool {
+            pool: Arc::new(WorkerPool::new(nworkers)),
+        }
+    }
+
+    /// Number of workers.
+    pub fn nworkers(&self) -> usize {
+        self.pool.nworkers()
+    }
+
+    /// The underlying pool handle (crate-internal: executors store it).
+    pub(crate) fn inner(&self) -> &Arc<WorkerPool> {
+        &self.pool
+    }
+
+    /// Opens a per-epoch accounting view positioned at *now*: the returned
+    /// [`PoolStats`] reports busy time accumulated **after** this call, so
+    /// a reused pool never smears one run's busy time into the next.
+    pub fn stats(&self) -> PoolStats {
+        let base = (0..self.pool.nworkers())
+            .map(|w| self.pool.busy_ns(w))
+            .collect();
+        PoolStats {
+            pool: Arc::clone(&self.pool),
+            base,
+        }
+    }
+}
+
+/// Per-epoch busy accounting of a [`SharedPool`].
+///
+/// The pool's raw `busy_ns` counters are cumulative over its lifetime;
+/// utilization quoted from them after the pool served several runs would
+/// blend every tenant's work (and can exceed 1.0 for the last run). A
+/// `PoolStats` carries an epoch baseline: [`PoolStats::busy_ns`] reports
+/// only the busy time since the baseline, and [`PoolStats::take_epoch`]
+/// harvests it and resets the baseline to *now* — one call per solve gives
+/// exact per-solve attribution on a pool of any age.
+pub struct PoolStats {
+    pool: Arc<WorkerPool>,
+    /// Cumulative busy-ns snapshot at the epoch start, per worker.
+    base: Vec<u64>,
+}
+
+impl PoolStats {
+    /// Busy nanoseconds per worker since the epoch baseline.
+    pub fn busy_ns(&self) -> Vec<u64> {
+        self.base
+            .iter()
+            .enumerate()
+            .map(|(w, &b)| self.pool.busy_ns(w).saturating_sub(b))
+            .collect()
+    }
+
+    /// Total busy nanoseconds across workers since the epoch baseline.
+    pub fn total_busy_ns(&self) -> u64 {
+        self.busy_ns().iter().sum()
+    }
+
+    /// Harvests the epoch: returns per-worker busy-ns since the baseline
+    /// and resets the baseline to *now*, so the next epoch starts at zero.
+    pub fn take_epoch(&mut self) -> Vec<u64> {
+        let snapshot: Vec<u64> = (0..self.base.len()).map(|w| self.pool.busy_ns(w)).collect();
+        let epoch = snapshot
+            .iter()
+            .zip(&self.base)
+            .map(|(&now, &b)| now.saturating_sub(b))
+            .collect();
+        self.base = snapshot;
+        epoch
+    }
+}
+
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         {
@@ -254,6 +351,33 @@ mod tests {
     fn zero_tasks_is_a_noop() {
         let pool = WorkerPool::new(3);
         pool.run(0, 1, &|_| panic!("no task should run"));
+    }
+
+    #[test]
+    fn pool_stats_take_epoch_resets_the_baseline() {
+        // Two back-to-back "runs" on one pool: each epoch must see only
+        // its own busy time, not the pool-lifetime accumulation.
+        let shared = SharedPool::new(2);
+        let mut stats = shared.stats();
+        let spin = |_: usize| {
+            std::hint::black_box((0..20_000).sum::<u64>());
+        };
+        shared.inner().run(64, 4, &spin);
+        let first = stats.take_epoch();
+        assert!(first.iter().sum::<u64>() > 0, "first epoch measured");
+        // A fresh epoch starts at zero even though the pool counters do not.
+        assert_eq!(stats.total_busy_ns(), 0);
+        shared.inner().run(64, 4, &spin);
+        let second = stats.take_epoch();
+        let lifetime: u64 = (0..shared.nworkers())
+            .map(|w| shared.inner().busy_ns(w))
+            .sum();
+        assert!(second.iter().sum::<u64>() > 0, "second epoch measured");
+        assert_eq!(
+            first.iter().sum::<u64>() + second.iter().sum::<u64>(),
+            lifetime,
+            "epochs partition the pool-lifetime busy time"
+        );
     }
 
     #[test]

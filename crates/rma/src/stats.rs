@@ -331,6 +331,28 @@ impl RunStats {
         self.steps.len()
     }
 
+    /// Harvests everything accumulated since the last harvest (or since
+    /// construction) and resets the accumulators in place, keeping their
+    /// shapes. The per-solve accounting primitive of a persistent
+    /// executor: a session driving many solves through one executor calls
+    /// this at each solve boundary, so every solve's report carries only
+    /// its own steps, per-rank compute time, and worker busy time —
+    /// `worker_utilization` / `rank_time_ns` stay per-solve instead of
+    /// smearing across the executor's lifetime.
+    pub fn take_epoch(&mut self) -> RunStats {
+        let epoch = RunStats {
+            steps: std::mem::take(&mut self.steps),
+            monitor: std::mem::take(&mut self.monitor),
+            msgs_per_rank: self.msgs_per_rank.clone(),
+            rank_time_ns: self.rank_time_ns.clone(),
+            worker_busy_ns: self.worker_busy_ns.clone(),
+        };
+        self.msgs_per_rank.iter_mut().for_each(|v| *v = 0);
+        self.rank_time_ns.iter_mut().for_each(|v| *v = 0);
+        self.worker_busy_ns.iter_mut().for_each(|v| *v = 0);
+        epoch
+    }
+
     /// Total messages over all steps.
     pub fn total_msgs(&self) -> u64 {
         self.steps.iter().map(|s| s.msgs).sum()

@@ -1,0 +1,501 @@
+//! Solver as a service: many independent tenants multiplexed over one
+//! shared worker pool.
+//!
+//! The paper optimizes the communication cost of *one* solve; the
+//! ROADMAP's north star is heavy traffic — millions of users issuing
+//! mostly-repeated solves. The serving layer combines three pieces from
+//! the lower crates:
+//!
+//! * a [`dsw_rma::SharedPool`], so `T` tenants cost one set of worker
+//!   threads instead of `T` sets (and per-solve utilization stays honest
+//!   via epoch-based busy accounting);
+//! * a [`dsw_core::dist::TenantSession`] per tenant — partition, routed
+//!   topology, per-rank solver state, and monitor scratch all survive
+//!   across solves, so an evolving right-hand side warm-starts from the
+//!   previous solution and only re-seeds residuals;
+//! * a fair-share scheduler that interleaves superstep batches from
+//!   runnable tenants with per-tenant quanta, deterministic given
+//!   `(seed, arrival order)`, with backpressure through a bounded
+//!   admission queue.
+//!
+//! Per-tenant [`DistReport`]s are fully isolated: each tenant owns its
+//! executor and stats epoch, and the pool's busy time is re-baselined at
+//! every superstep, so interleaving never bleeds one tenant's work into
+//! another's report. `tests/serve_determinism.rs` pins both properties.
+
+// `unwrap()` is banned in non-test code (clippy `disallowed-methods`, see
+// clippy.toml): use `expect` naming the invariant, or propagate the error.
+#![cfg_attr(not(test), deny(clippy::disallowed_methods))]
+
+use dsw_core::dist::{DistOptions, DistReport, Method, TenantSession};
+use dsw_partition::Partition;
+use dsw_rma::{PoolStats, SharedPool};
+use dsw_sparse::CsrMatrix;
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// Handle to a tenant registered with a [`SolveService`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TenantId(usize);
+
+impl TenantId {
+    /// The tenant's index in registration order.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Service configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Worker threads in the shared pool (all tenants share them).
+    pub workers: usize,
+    /// Supersteps a runnable tenant advances per scheduler visit. Larger
+    /// quanta amortize visit overhead; smaller quanta tighten fairness.
+    pub quantum: usize,
+    /// Bound on the total number of queued (admitted but unfinished)
+    /// jobs across all tenants; [`SolveService::submit`] returns
+    /// [`SubmitError::QueueFull`] beyond it — the backpressure signal.
+    pub queue_capacity: usize,
+    /// Rotates the round-robin visit order. The schedule — and therefore
+    /// every per-tenant report — is deterministic given
+    /// `(seed, tenant set, arrival order)`.
+    pub seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            quantum: 4,
+            queue_capacity: 1024,
+            seed: 0,
+        }
+    }
+}
+
+/// Why a submission was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded admission queue is at capacity: apply backpressure.
+    QueueFull,
+    /// No tenant with this id is registered.
+    UnknownTenant,
+    /// The right-hand side has the wrong dimension for the tenant's
+    /// system.
+    BadRhs {
+        /// The tenant's system dimension.
+        expected: usize,
+        /// The submitted vector's length.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "admission queue full"),
+            SubmitError::UnknownTenant => write!(f, "unknown tenant"),
+            SubmitError::BadRhs { expected, got } => {
+                write!(f, "rhs dimension {got}, tenant system is {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// An admitted, not-yet-started job.
+struct Job {
+    b: Vec<f64>,
+    submitted_at: Instant,
+}
+
+/// One tenant: the persistent session plus its job queue and finished
+/// reports.
+struct TenantSlot {
+    session: TenantSession,
+    n: usize,
+    /// Admitted jobs waiting to start (FIFO).
+    pending: VecDeque<Job>,
+    /// The in-progress job's admission time, if a solve is active.
+    active_since: Option<Instant>,
+    /// Finished per-tenant reports, in completion order.
+    reports: Vec<DistReport>,
+}
+
+impl TenantSlot {
+    fn runnable(&self) -> bool {
+        self.active_since.is_some() || !self.pending.is_empty()
+    }
+}
+
+/// Service-level observables for one [`SolveService::run_until_idle`]
+/// window.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceStats {
+    /// Solves completed in the window.
+    pub solves: u64,
+    /// Wall-clock span of the window, seconds.
+    pub wall_s: f64,
+    /// Sustained throughput: `solves / wall_s`.
+    pub solves_per_sec: f64,
+    /// Median solve latency (admission to completion), milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile solve latency, milliseconds.
+    pub p99_ms: f64,
+    /// Peak queued-job count observed since the previous window.
+    pub max_queue_depth: usize,
+    /// Shared-pool busy fraction over the window:
+    /// `Σ worker busy / (wall × workers)`.
+    pub pool_utilization: f64,
+}
+
+/// Multiplexes many tenants' solves over one shared worker pool.
+pub struct SolveService {
+    cfg: ServeConfig,
+    pool: SharedPool,
+    pool_stats: PoolStats,
+    tenants: Vec<TenantSlot>,
+    /// Total admitted-but-unfinished jobs (the bounded queue occupancy).
+    queued: usize,
+    max_queue_depth: usize,
+    /// Scheduler PRNG state (an LCG stepped once per round).
+    rng: u64,
+}
+
+impl SolveService {
+    /// Creates a service with its own shared pool.
+    pub fn new(cfg: ServeConfig) -> Self {
+        assert!(cfg.workers > 0, "the shared pool needs at least 1 worker");
+        assert!(cfg.quantum > 0, "a zero quantum cannot make progress");
+        let pool = SharedPool::new(cfg.workers);
+        let pool_stats = pool.stats();
+        SolveService {
+            cfg,
+            pool,
+            pool_stats,
+            tenants: Vec::new(),
+            queued: 0,
+            max_queue_depth: 0,
+            rng: cfg.seed,
+        }
+    }
+
+    /// Registers a tenant: distributes its system, builds the per-rank
+    /// solver state on the shared pool, and returns the handle. This is
+    /// the cold-start cost — paid once, amortized over every subsequent
+    /// solve.
+    pub fn add_tenant(
+        &mut self,
+        method: Method,
+        a: CsrMatrix,
+        b: &[f64],
+        x0: &[f64],
+        partition: &Partition,
+        opts: &DistOptions,
+    ) -> TenantId {
+        let n = a.nrows();
+        let session = TenantSession::build(method, a, b, x0, partition, opts, Some(&self.pool));
+        self.tenants.push(TenantSlot {
+            session,
+            n,
+            pending: VecDeque::new(),
+            active_since: None,
+            reports: Vec::new(),
+        });
+        TenantId(self.tenants.len() - 1)
+    }
+
+    /// Submits one right-hand side for `tenant`. Fails with
+    /// [`SubmitError::QueueFull`] when the bounded admission queue is at
+    /// capacity — callers should drain ([`run_until_idle`]) and retry.
+    ///
+    /// [`run_until_idle`]: SolveService::run_until_idle
+    pub fn submit(&mut self, tenant: TenantId, b: Vec<f64>) -> Result<(), SubmitError> {
+        let slot = self
+            .tenants
+            .get_mut(tenant.0)
+            .ok_or(SubmitError::UnknownTenant)?;
+        if b.len() != slot.n {
+            return Err(SubmitError::BadRhs {
+                expected: slot.n,
+                got: b.len(),
+            });
+        }
+        if self.queued >= self.cfg.queue_capacity {
+            return Err(SubmitError::QueueFull);
+        }
+        slot.pending.push_back(Job {
+            b,
+            submitted_at: Instant::now(),
+        });
+        self.queued += 1;
+        self.max_queue_depth = self.max_queue_depth.max(self.queued);
+        Ok(())
+    }
+
+    /// Submits a batch of right-hand sides for one tenant (the
+    /// `solve_many` path): the k solves run as one fused sweep over the
+    /// tenant's topology, each warm-starting from its predecessor.
+    /// Stops at the first rejected job, returning how many were admitted.
+    pub fn submit_many(
+        &mut self,
+        tenant: TenantId,
+        bs: Vec<Vec<f64>>,
+    ) -> Result<usize, (usize, SubmitError)> {
+        for (i, b) in bs.into_iter().enumerate() {
+            if let Err(e) = self.submit(tenant, b) {
+                return Err((i, e));
+            }
+        }
+        Ok(self.queue_len())
+    }
+
+    /// Jobs currently admitted and unfinished.
+    pub fn queue_len(&self) -> usize {
+        self.queued
+    }
+
+    /// Registered tenants.
+    pub fn ntenants(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Workers in the shared pool.
+    pub fn workers(&self) -> usize {
+        self.cfg.workers
+    }
+
+    /// Runs the fair-share scheduler until every admitted job has
+    /// completed, then returns the window's service stats.
+    ///
+    /// Each round visits every runnable tenant once, in registration
+    /// order rotated by a seeded offset; a visited tenant starts its next
+    /// pending job if idle and then advances up to `quantum` supersteps.
+    /// Tenants never share solver state, so the per-tenant reports are
+    /// independent of the interleaving — the schedule only shapes
+    /// latency.
+    pub fn run_until_idle(&mut self) -> ServiceStats {
+        let t0 = Instant::now();
+        let mut latencies_ms: Vec<f64> = Vec::new();
+        let mut solves = 0u64;
+        // Harvest pool busy time accumulated outside this window (tenant
+        // cold builds, previous windows), so utilization is per-window.
+        let _ = self.pool_stats.take_epoch();
+
+        loop {
+            let runnable: Vec<usize> = (0..self.tenants.len())
+                .filter(|&t| self.tenants[t].runnable())
+                .collect();
+            if runnable.is_empty() {
+                break;
+            }
+            // Seeded rotation of the visit order: fairness does not favor
+            // low tenant ids, yet the schedule stays a pure function of
+            // (seed, round) — nothing about timing feeds back into it.
+            self.rng = self
+                .rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let rot = (self.rng >> 33) as usize % runnable.len();
+            for i in 0..runnable.len() {
+                let t = runnable[(i + rot) % runnable.len()];
+                let slot = &mut self.tenants[t];
+                if slot.active_since.is_none() {
+                    let Some(job) = slot.pending.pop_front() else {
+                        continue; // became idle this round (was runnable at selection)
+                    };
+                    slot.session.begin_solve(&job.b);
+                    slot.active_since = Some(job.submitted_at);
+                }
+                if slot.session.step_batch(self.cfg.quantum) {
+                    let report = slot.session.finish();
+                    slot.reports.push(report);
+                    let since = slot
+                        .active_since
+                        .take()
+                        .expect("active solve has an admission time");
+                    latencies_ms.push(since.elapsed().as_secs_f64() * 1e3);
+                    self.queued -= 1;
+                    solves += 1;
+                }
+            }
+        }
+
+        let wall_s = t0.elapsed().as_secs_f64();
+        let busy: u64 = self.pool_stats.take_epoch().iter().sum();
+        let denom = wall_s * 1e9 * self.cfg.workers as f64;
+        let max_queue_depth = self.max_queue_depth;
+        self.max_queue_depth = self.queued;
+        latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let pct = |p: f64| -> f64 {
+            if latencies_ms.is_empty() {
+                return 0.0;
+            }
+            let idx = ((latencies_ms.len() - 1) as f64 * p).round() as usize;
+            latencies_ms[idx]
+        };
+        ServiceStats {
+            solves,
+            wall_s,
+            solves_per_sec: if wall_s > 0.0 {
+                solves as f64 / wall_s
+            } else {
+                0.0
+            },
+            p50_ms: pct(0.50),
+            p99_ms: pct(0.99),
+            max_queue_depth,
+            pool_utilization: if denom > 0.0 {
+                (busy as f64 / denom).min(1.0)
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// Drains the finished reports for one tenant (completion order).
+    pub fn take_reports(&mut self, tenant: TenantId) -> Vec<DistReport> {
+        self.tenants
+            .get_mut(tenant.0)
+            .map(|s| std::mem::take(&mut s.reports))
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsw_core::dist::{DistOptions, ExecBackend, Method};
+    use dsw_partition::Partition;
+    use dsw_rma::ExecMode;
+    use dsw_sparse::CsrMatrix;
+
+    fn poisson(side: usize) -> CsrMatrix {
+        dsw_sparse::gen::grid2d_poisson(side, side)
+    }
+
+    fn block_partition(n: usize, p: usize) -> Partition {
+        Partition::new(p, (0..n).map(|i| i * p / n).collect())
+    }
+
+    fn opts() -> DistOptions {
+        DistOptions {
+            backend: ExecBackend::Superstep(ExecMode::Sequential),
+            target_residual: Some(1e-3),
+            max_steps: 400,
+            ..DistOptions::default()
+        }
+    }
+
+    fn service_with_tenants(k: usize, seed: u64) -> (SolveService, Vec<TenantId>) {
+        let a = poisson(12);
+        let n = a.nrows();
+        let part = block_partition(n, 4);
+        let mut svc = SolveService::new(ServeConfig {
+            workers: 2,
+            quantum: 4,
+            queue_capacity: 64,
+            seed,
+        });
+        let ids = (0..k)
+            .map(|i| {
+                let b: Vec<f64> = (0..n).map(|j| ((i + j) % 7) as f64 * 0.1).collect();
+                let x0 = vec![0.0; n];
+                svc.add_tenant(
+                    Method::DistributedSouthwell,
+                    a.clone(),
+                    &b,
+                    &x0,
+                    &part,
+                    &opts(),
+                )
+            })
+            .collect();
+        (svc, ids)
+    }
+
+    #[test]
+    fn solves_complete_and_reports_are_isolated() {
+        let (mut svc, ids) = service_with_tenants(3, 7);
+        let n = 144;
+        for (i, &id) in ids.iter().enumerate() {
+            let b: Vec<f64> = (0..n).map(|j| ((i * 3 + j) % 5) as f64 * 0.2).collect();
+            svc.submit(id, b).expect("queue has room");
+        }
+        let stats = svc.run_until_idle();
+        assert_eq!(stats.solves, 3);
+        assert_eq!(svc.queue_len(), 0);
+        assert!(stats.solves_per_sec > 0.0);
+        assert!(stats.pool_utilization <= 1.0);
+        for &id in &ids {
+            let reports = svc.take_reports(id);
+            assert_eq!(reports.len(), 1);
+            let r = &reports[0];
+            assert!(r.converged_at.is_some(), "tenant {id:?} converged");
+            // Isolation: each report's step records cover only this
+            // tenant's own solve.
+            assert!(r.stats.nsteps() > 0);
+            assert_eq!(r.records.len(), r.stats.nsteps() + 1);
+        }
+    }
+
+    #[test]
+    fn queue_backpressure() {
+        let a = poisson(8);
+        let n = a.nrows();
+        let part = block_partition(n, 4);
+        let mut svc = SolveService::new(ServeConfig {
+            workers: 1,
+            quantum: 2,
+            queue_capacity: 2,
+            seed: 0,
+        });
+        let b = vec![0.5; n];
+        let id = svc.add_tenant(Method::BlockJacobi, a, &b, &vec![0.0; n], &part, &opts());
+        svc.submit(id, vec![0.1; n]).expect("1st fits");
+        svc.submit(id, vec![0.2; n]).expect("2nd fits");
+        assert_eq!(svc.submit(id, vec![0.3; n]), Err(SubmitError::QueueFull));
+        assert_eq!(
+            svc.submit(id, vec![0.1; 3]),
+            Err(SubmitError::BadRhs {
+                expected: n,
+                got: 3
+            })
+        );
+        assert_eq!(
+            svc.submit(TenantId(99), vec![0.1; n]),
+            Err(SubmitError::UnknownTenant)
+        );
+        let stats = svc.run_until_idle();
+        assert_eq!(stats.solves, 2);
+        assert_eq!(stats.max_queue_depth, 2);
+        svc.submit(id, vec![0.3; n])
+            .expect("drained queue has room");
+    }
+
+    #[test]
+    fn repeated_solves_warm_start() {
+        let (mut svc, ids) = service_with_tenants(1, 1);
+        let id = ids[0];
+        let n = 144;
+        let b1: Vec<f64> = (0..n).map(|j| (j % 5) as f64 * 0.2).collect();
+        svc.submit(id, b1.clone()).expect("room");
+        svc.run_until_idle();
+        let cold = svc.take_reports(id).remove(0);
+
+        // Tiny perturbation: the warm re-solve starts near the solution
+        // and must converge in (far) fewer steps than the cold solve.
+        let b2: Vec<f64> = b1.iter().map(|v| v + 1e-5).collect();
+        svc.submit(id, b2).expect("room");
+        svc.run_until_idle();
+        let warm = svc.take_reports(id).remove(0);
+        let cold_steps = cold.converged_at.expect("cold solve converged");
+        let warm_steps = warm.converged_at.expect("warm solve converged");
+        assert!(
+            warm_steps < cold_steps,
+            "warm start ({warm_steps} steps) beats cold ({cold_steps} steps)"
+        );
+    }
+}

@@ -10,12 +10,13 @@
 //! ```
 //!
 //! See the individual crates for the full documentation:
-//! [`sparse`], [`partition`], [`rma`], [`core`], [`multigrid`].
+//! [`sparse`], [`partition`], [`rma`], [`core`], [`serve`], [`multigrid`].
 
 pub use dsw_core as core;
 pub use dsw_multigrid as multigrid;
 pub use dsw_partition as partition;
 pub use dsw_rma as rma;
+pub use dsw_serve as serve;
 pub use dsw_sparse as sparse;
 
 /// Convenient glob-import surface.
